@@ -1,0 +1,129 @@
+// Ablation: wordlength scaling of the bit-serial CiM mapping (the paper
+// operates at "an 8-bit wordlength scale"; [17]'s scheme is flexible).
+// For 4/6/8-bit words this bench reports
+//   * classification accuracy (digital int-N vs the CiM fabric),
+//   * row MACs per inference -> energy and effective throughput,
+// plus a sensing-periphery extension: how far a temperature-tracking ADC
+// reference rescues the (otherwise failing) subthreshold baseline array.
+#include <cstdio>
+
+#include "cim/energy.hpp"
+#include "nn/cim_engine.hpp"
+#include "nn/trainer.hpp"
+#include "nn/vgg.hpp"
+#include "util/table.hpp"
+
+using namespace sfc;
+
+namespace {
+
+nn::Sequential make_and_train(const data::Dataset& train) {
+  util::Rng rng(61);
+  nn::Sequential net;
+  net.add<nn::Conv2d>(3, 8, 3, true, rng);
+  net.add<nn::Relu>();
+  net.add<nn::MaxPool2d>(2);
+  net.add<nn::Conv2d>(8, 12, 3, true, rng);
+  net.add<nn::Relu>();
+  net.add<nn::MaxPool2d>(2);
+  net.add<nn::MaxPool2d>(2);
+  net.add<nn::Flatten>();
+  net.add<nn::Dense>(12 * 4 * 4, 10, rng);
+  nn::TrainConfig cfg;
+  cfg.epochs = 8;
+  cfg.batch_size = 16;
+  cfg.optimizer = nn::Optimizer::kAdam;
+  cfg.learning_rate = 1e-3;
+  nn::Trainer trainer(net, cfg);
+  trainer.fit(train);
+  return net;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: wordlength of the bit-serial CiM mapping ==\n\n");
+
+  data::SynthCifarConfig dcfg;
+  dcfg.train_per_class = 60;
+  dcfg.test_per_class = 20;
+  dcfg.noise_sigma = 0.2;
+  const auto train = data::make_synth_cifar_train(dcfg);
+  const auto test = data::make_synth_cifar_test(dcfg);
+  nn::Sequential net = make_and_train(train);
+  std::printf("float32 accuracy: %.1f%%\n\n",
+              nn::Trainer::evaluate(net, test) * 100.0);
+
+  const cim::BehavioralArrayModel fabric =
+      cim::BehavioralArrayModel::calibrate(
+          cim::ArrayConfig::proposed_2t1fefet(), {0.0, 27.0, 85.0});
+  const cim::EnergySummary energy =
+      cim::measure_energy(cim::ArrayConfig::proposed_2t1fefet(), 27.0);
+
+  util::Table table({"word bits", "digital acc", "CiM acc (27C)",
+                     "CiM acc (85C)", "row MACs/inf", "energy/inf [nJ]"});
+  for (const int bits : {4, 6, 8}) {
+    nn::QuantizeOptions qopts;
+    qopts.activation_bits = bits;
+    qopts.weight_bits = bits;
+    const nn::QuantizedNetwork qnet =
+        nn::QuantizedNetwork::from_model(net, train, 16, qopts);
+
+    nn::IdealDotEngine ideal;
+    const double acc_digital = qnet.evaluate(test, ideal);
+
+    nn::CimDotEngine::Options copts;
+    copts.activation_bits = bits;
+    copts.weight_bits = bits;
+    copts.temperature_c = 27.0;
+    nn::CimDotEngine engine27(fabric, copts);
+    const double acc27 = qnet.evaluate(test, engine27);
+    const auto row_macs = engine27.row_ops() / static_cast<std::int64_t>(
+                              test.images.size());
+
+    copts.temperature_c = 85.0;
+    nn::CimDotEngine engine85(fabric, copts);
+    const double acc85 = qnet.evaluate(test, engine85);
+
+    const double e_inf = static_cast<double>(row_macs) * 9.0 *
+                         energy.mean_energy_per_op;
+    table.add_row({std::to_string(bits),
+                   util::fmt_percent(acc_digital).substr(1),
+                   util::fmt_percent(acc27).substr(1),
+                   util::fmt_percent(acc85).substr(1),
+                   util::fmt(static_cast<double>(row_macs), 6),
+                   util::fmt(e_inf * 1e9, 4)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "   (energy and latency scale ~quadratically with wordlength - the\n"
+      "    bit-serial plane count is act_bits x (weight_bits - 1) x 2;\n"
+      "    accuracy saturates at 6-8 bits, matching the paper's choice of\n"
+      "    an 8-bit wordlength as the conservative operating point)\n\n");
+
+  // --- extension: temperature-tracking ADC on the baseline array ----------
+  std::printf("extension: can a temperature-tracking ADC rescue the "
+              "subthreshold baseline?\n");
+  const cim::BehavioralArrayModel baseline =
+      cim::BehavioralArrayModel::calibrate(
+          cim::ArrayConfig::baseline_1r_subthreshold(), {0.0, 27.0, 85.0});
+  util::Table rescue({"T [degC]", "fixed-ref mis-decodes (of 9)",
+                      "tracking-ref mis-decodes (of 9)"});
+  for (double t : {0.0, 27.0, 55.0, 85.0}) {
+    int fixed_errors = 0, tracking_errors = 0;
+    for (int k = 0; k <= 8; ++k) {
+      if (baseline.mac(k, t) != k) ++fixed_errors;
+      if (baseline.mac_tracking(k, t) != k) ++tracking_errors;
+    }
+    rescue.add_row({util::fmt(t, 3), std::to_string(fixed_errors),
+                    std::to_string(tracking_errors)});
+  }
+  std::printf("%s", rescue.render().c_str());
+  std::printf(
+      "   (a periphery that re-centers its references with temperature\n"
+      "    recovers the *systematic* level shift, but needs a temperature\n"
+      "    sensor + per-die calibration, and cannot recover levels once\n"
+      "    adjacent ranges overlap across the corner cases the array-level\n"
+      "    NMR accounts for; the 2T-1FeFET cell solves it in the cell)\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Micro-benchmarks (google-benchmark) for the simulation substrate: LU
+// kernel, Newton DC solves, transient steps, full MAC cycles, and the
+// behavioural-model fast path. These are engineering benchmarks for the
+// reproduction itself, not paper artifacts.
+#include <benchmark/benchmark.h>
+
+#include "cim/array.hpp"
+#include "cim/behavioral.hpp"
+#include "devices/mosfet.hpp"
+#include "nn/cim_engine.hpp"
+#include "spice/engine.hpp"
+#include "spice/primitives.hpp"
+#include "util/rng.hpp"
+
+using namespace sfc;
+
+static void BM_LuSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  spice::DenseMatrix a(n, n);
+  std::vector<double> b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = rng.uniform(-1, 1);
+    for (std::size_t j = 0; j < n; ++j) a.at(i, j) = rng.uniform(-1, 1);
+    a.at(i, i) += 4.0;
+  }
+  for (auto _ : state) {
+    spice::DenseMatrix acopy = a;
+    std::vector<double> x = b;
+    benchmark::DoNotOptimize(spice::lu_solve(acopy, x));
+  }
+}
+BENCHMARK(BM_LuSolve)->Arg(16)->Arg(48)->Arg(96);
+
+static void BM_DcOperatingPoint_Inverter(benchmark::State& state) {
+  spice::Circuit ckt;
+  const auto vdd = ckt.node("vdd");
+  const auto g = ckt.node("g");
+  const auto out = ckt.node("out");
+  ckt.add<spice::VSource>("VDD", vdd, spice::kGround, 1.2);
+  ckt.add<spice::VSource>("VG", g, spice::kGround, 0.6);
+  ckt.add<spice::Resistor>("RD", vdd, out, 1e5);
+  ckt.add<devices::Mosfet>("M1", out, g, spice::kGround,
+                           devices::MosfetParams::finfet14_nmos(8.0));
+  spice::Engine engine(ckt, 27.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.dc_operating_point());
+  }
+}
+BENCHMARK(BM_DcOperatingPoint_Inverter);
+
+static void BM_TransientRc(benchmark::State& state) {
+  for (auto _ : state) {
+    spice::Circuit ckt;
+    const auto in = ckt.node("in");
+    const auto out = ckt.node("out");
+    ckt.add<spice::VSource>("V1", in, spice::kGround, 1.0);
+    ckt.add<spice::Resistor>("R1", in, out, 1e3);
+    ckt.add<spice::Capacitor>("C1", out, spice::kGround, 1e-9, 0.0);
+    spice::Engine engine(ckt, 27.0);
+    spice::TransientOptions opts;
+    opts.dt = 1e-8;
+    benchmark::DoNotOptimize(engine.transient(1e-6, opts));
+  }
+}
+BENCHMARK(BM_TransientRc);
+
+static void BM_MacCycle_2T1FeFet(benchmark::State& state) {
+  cim::CiMRow row(cim::ArrayConfig::proposed_2t1fefet());
+  row.set_stored(std::vector<int>(8, 1));
+  const std::vector<int> inputs = {1, 0, 1, 1, 0, 1, 0, 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(row.evaluate(inputs, 27.0));
+  }
+}
+BENCHMARK(BM_MacCycle_2T1FeFet)->Unit(benchmark::kMillisecond);
+
+static void BM_MacCycle_1FeFet1R(benchmark::State& state) {
+  cim::CiMRow row(cim::ArrayConfig::baseline_1r_subthreshold());
+  row.set_stored(std::vector<int>(8, 1));
+  const std::vector<int> inputs = {1, 0, 1, 1, 0, 1, 0, 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(row.evaluate(inputs, 27.0));
+  }
+}
+BENCHMARK(BM_MacCycle_1FeFet1R)->Unit(benchmark::kMillisecond);
+
+static void BM_BehavioralDot(benchmark::State& state) {
+  static const cim::BehavioralArrayModel model =
+      cim::BehavioralArrayModel::calibrate(cim::ArrayConfig::proposed_2t1fefet(),
+                                           {0.0, 27.0, 85.0});
+  nn::CimDotEngine engine(model, {});
+  util::Rng rng(3);
+  const auto len = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint8_t> a(len);
+  std::vector<std::int8_t> w(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    a[i] = static_cast<std::uint8_t>(rng.uniform_index(256));
+    w[i] = static_cast<std::int8_t>(static_cast<int>(rng.uniform_index(255)) - 127);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.dot(a, w));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(len));
+}
+BENCHMARK(BM_BehavioralDot)->Arg(144)->Arg(1024);
+
+static void BM_MosfetEval(benchmark::State& state) {
+  const auto p = devices::MosfetParams::finfet14_nmos(8.0);
+  double vg = 0.3;
+  for (auto _ : state) {
+    vg = vg > 1.0 ? 0.3 : vg + 1e-9;
+    benchmark::DoNotOptimize(devices::evaluate_mosfet(p, vg, 1.0, 0.1, 27.0));
+  }
+}
+BENCHMARK(BM_MosfetEval);
+
+BENCHMARK_MAIN();

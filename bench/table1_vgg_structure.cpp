@@ -1,0 +1,39 @@
+// Table I reproduction: the VGG network executed on CIFAR-10, printed
+// layer by layer, plus the parameter/MAC budget and the width-scaled
+// variant used for CPU-feasible training in this reproduction.
+#include <cstdio>
+
+#include "nn/vgg.hpp"
+
+using namespace sfc::nn;
+
+namespace {
+
+void print_table(const char* title, const VggConfig& cfg) {
+  std::printf("%s\n", title);
+  std::printf("  %-20s %-12s %-12s %s\n", "Layer", "Input Map", "Output Map",
+              "Non Linearity");
+  for (const auto& row : vgg_table(cfg)) {
+    std::printf("  %-20s %-12s %-12s %s\n", row.layer.c_str(),
+                row.input_map.c_str(), row.output_map.c_str(),
+                row.nonlinearity.c_str());
+  }
+  Sequential net = build_vgg(cfg);
+  std::printf("  -> %zu trainable parameters\n\n", net.num_parameters());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Table I: VGG structure for CIFAR-10 ==\n\n");
+  print_table("paper network (Table I):", VggConfig::paper());
+  print_table("width-scaled variant (factor 1/8, used by the accuracy bench):",
+              VggConfig::reduced(0.125));
+
+  std::printf(
+      "note: the paper network's topology (7 conv + 3 pool + 3 FC, same\n"
+      "dropout schedule, FC1 input 4*4*256 = 4096) is reproduced exactly;\n"
+      "the reduced variant shrinks only the channel/hidden widths so that\n"
+      "training on SynthCIFAR finishes in CPU-minutes.\n");
+  return 0;
+}

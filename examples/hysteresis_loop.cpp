@@ -1,0 +1,92 @@
+// FeFET physics walkthrough: trace the ferroelectric P-V hysteresis loop
+// (major and minor), show the write-pulse dynamics (Merz law) behind the
+// paper's +4 V/115 ns vs -4 V/200 ns protocol, and plot retention decay.
+//
+//   $ ./hysteresis_loop
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "fefet/preisach.hpp"
+#include "util/plot.hpp"
+
+int main() {
+  using namespace sfc;
+  using namespace sfc::fefet;
+
+  // --- 1. quasi-static major and minor loops ------------------------------
+  std::printf("1. P-V hysteresis (quasi-static sweep, 27 degC)\n");
+  {
+    PreisachModel fe;
+    std::vector<double> v_major, p_major, v_minor, p_minor;
+    auto sweep = [&](PreisachModel& model, double lo, double hi,
+                     std::vector<double>& vs, std::vector<double>& ps) {
+      for (double v = lo; v <= hi + 1e-9; v += 0.2) {
+        model.apply_quasistatic(v, 27.0);
+        vs.push_back(v);
+        ps.push_back(model.polarization());
+      }
+      for (double v = hi; v >= lo - 1e-9; v -= 0.2) {
+        model.apply_quasistatic(v, 27.0);
+        vs.push_back(v);
+        ps.push_back(model.polarization());
+      }
+    };
+    sweep(fe, -5.0, 5.0, v_major, p_major);
+    PreisachModel fe2;
+    fe2.apply_quasistatic(-5.0, 27.0);
+    sweep(fe2, -5.0, 2.6, v_minor, p_minor);  // partial positive excursion
+
+    util::AsciiPlot plot(60, 16);
+    plot.add_series("major loop", v_major, p_major, '*');
+    plot.add_series("minor loop (to +2.6V)", v_minor, p_minor, 'o');
+    std::printf("%s\n", plot.render().c_str());
+  }
+
+  // --- 2. write-pulse dynamics ---------------------------------------------
+  std::printf("2. pulse-width dependence of the +4 V write (Merz law)\n");
+  {
+    std::vector<double> widths, polarizations;
+    for (double w_ns : {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 115.0, 200.0}) {
+      PreisachModel fe;  // pristine: high-VTH
+      fe.apply_pulse(4.0, w_ns * 1e-9, 27.0);
+      widths.push_back(w_ns);
+      polarizations.push_back(fe.polarization());
+      std::printf("   +4 V for %6.0f ns -> P = %+.3f  (VTH = %.3f V)\n",
+                  w_ns, fe.polarization(), fe.vth(27.0));
+    }
+    std::printf("   => the paper's 115 ns pulse saturates the switch; a\n"
+                "      5 ns pulse only partially programs the device.\n\n");
+  }
+
+  // --- 3. retention ---------------------------------------------------------
+  std::printf("3. retention: polarization decay of a stored '1'\n");
+  {
+    constexpr double kYear = 3.156e7;
+    util::AsciiPlot plot(60, 12);
+    struct Curve {
+      const char* label;
+      double temp;
+      char glyph;
+    };
+    for (const Curve& curve : {Curve{"27C", 27.0, 'o'},
+                               Curve{"85C", 85.0, '*'},
+                               Curve{"125C", 125.0, '#'}}) {
+      const auto& [label, temp, glyph] = curve;
+      std::vector<double> log_years, ps;
+      for (double years : {0.01, 0.1, 1.0, 3.0, 10.0, 30.0}) {
+        PreisachModel fe;
+        fe.write_bit(true, 27.0);
+        fe.age(years * kYear, temp);
+        log_years.push_back(std::log10(years));
+        ps.push_back(fe.polarization());
+      }
+      plot.add_series(label, log_years, ps, glyph);
+    }
+    std::printf("%s", plot.render().c_str());
+    std::printf("   (x axis: log10(years); the 85 degC curve stays >0.9 for\n"
+                "    a decade - HfO2-class retention - while 125 degC "
+                "fails)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Quickstart: build a 2T-1FeFET CiM row, program weights with the paper's
+// write-pulse protocol, run a MAC cycle at several temperatures, and read
+// the accumulated output.
+//
+//   $ ./quickstart
+#include <cstdio>
+#include <vector>
+
+#include "cim/array.hpp"
+
+int main() {
+  using namespace sfc::cim;
+
+  // An 8-cell row of the proposed temperature-resilient cell with the
+  // paper's operating conditions (BL 1.2 V, SL 0.2 V, WL 0.35 V, 6.9 ns).
+  CiMRow row(ArrayConfig::proposed_2t1fefet());
+
+  // Store the weight vector with +-4 V programming pulses (115 ns / 200 ns).
+  const std::vector<int> weights = {1, 0, 1, 1, 0, 1, 1, 0};
+  row.program(weights);
+  std::printf("stored weights: ");
+  for (int b : row.stored()) std::printf("%d", b);
+  std::printf("\n");
+
+  // Apply an input vector; the row computes the number of (1,1) pairs.
+  const std::vector<int> inputs = {1, 1, 1, 0, 1, 1, 0, 1};
+  int expected = 0;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    expected += inputs[i] & weights[i];
+  }
+  std::printf("inputs:         ");
+  for (int b : inputs) std::printf("%d", b);
+  std::printf("   -> expected MAC = %d\n\n", expected);
+
+  std::printf("%-12s %-14s %-16s %s\n", "T [degC]", "V_acc [V]",
+              "energy/op [fJ]", "latency [ns]");
+  for (double t : {0.0, 27.0, 55.0, 85.0}) {
+    const MacResult r = row.evaluate(inputs, t);
+    if (!r.converged) {
+      std::printf("%-12.1f simulation failed to converge\n", t);
+      continue;
+    }
+    std::printf("%-12.1f %-14.4f %-16.3f %.1f\n", t, r.v_acc,
+                r.energy_per_op() * 1e15,
+                row.config().timing.t_total() * 1e9);
+  }
+  std::printf(
+      "\nThe accumulated voltage is essentially temperature-independent:\n"
+      "that is the feedback loop of the 2T-1FeFET cell doing its job.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// CiMRow: one row of the CiM array (Fig. 6) - n cells, per-cell C0, EN
+// switches and the shared accumulation capacitor Cacc. Owns the circuit
+// and re-runs the full MAC cycle (write-independent read transient) at any
+// temperature.
+#pragma once
+
+#include <vector>
+
+#include "cim/cell.hpp"
+#include "spice/engine.hpp"
+
+namespace sfc::cim {
+
+/// Result of one MAC cycle.
+struct MacResult {
+  bool converged = false;
+  /// Final voltage on the accumulation capacitor [V] (the MAC output).
+  double v_acc = 0.0;
+  /// Per-cell output voltage V_Oi sampled at the end of the cell phase [V].
+  std::vector<double> v_cell;
+  /// Net energy delivered by all supplies over the cycle [J].
+  double energy_joules = 0.0;
+  /// Ops per row MAC: n multiplications + 1 accumulation (paper Sec. IV-A).
+  int ops = 0;
+  /// Full waveform record (only populated when requested).
+  sfc::spice::TransientResult waveforms;
+
+  double energy_per_op() const {
+    return ops > 0 ? energy_joules / ops : 0.0;
+  }
+};
+
+class CiMRow {
+ public:
+  explicit CiMRow(ArrayConfig cfg);
+
+  int cells() const { return cfg_.cells_per_row; }
+  const ArrayConfig& config() const { return cfg_; }
+
+  /// Program stored weights using the paper's +-4 V pulse protocol at the
+  /// given (write-time) temperature.
+  void program(const std::vector<int>& weights,
+               double write_temperature_c = 27.0);
+
+  /// Force polarization states directly (+1 for '1', -1 for '0'); bypasses
+  /// write dynamics for experiments that are not about programming.
+  void set_stored(const std::vector<int>& weights);
+
+  /// Stored bits currently held by the FeFETs.
+  std::vector<int> stored() const;
+
+  /// Monte Carlo hooks: per-cell threshold shifts [V].
+  void set_fefet_vth_shifts(const std::vector<double>& shifts);
+  void set_mosfet_vth_shifts(const std::vector<double>& m1_shifts,
+                             const std::vector<double>& m2_shifts);
+  void clear_vth_shifts();
+
+  /// Run one MAC cycle with the given input bits at `temperature_c`.
+  MacResult evaluate(const std::vector<int>& inputs, double temperature_c,
+                     bool keep_waveforms = false);
+
+  /// Direct access for tests.
+  const CellHandles& cell(int i) const {
+    return cells_.at(static_cast<std::size_t>(i));
+  }
+  sfc::spice::Circuit& circuit() { return circuit_; }
+
+  /// Node name of the accumulation capacitor.
+  static constexpr const char* kAccNode = "acc";
+
+ private:
+  ArrayConfig cfg_;
+  sfc::spice::Circuit circuit_;
+  std::vector<CellHandles> cells_;
+  sfc::spice::VSource* en_ = nullptr;
+};
+
+}  // namespace sfc::cim

@@ -1,0 +1,98 @@
+#include "cim/calibration.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "cim/energy.hpp"
+
+namespace sfc::cim {
+namespace {
+
+std::vector<double> temps_above(const std::vector<double>& temps_c,
+                                double lo) {
+  std::vector<double> out;
+  for (double t : temps_c) {
+    if (t >= lo) out.push_back(t);
+  }
+  return out;
+}
+
+/// Fig. 7-style fluctuation: C0 average charging current (2T cell).
+double cell_fluctuation(const ArrayConfig& cfg,
+                        const std::vector<double>& temps_c) {
+  const auto resp = cell_temperature_response(cfg, temps_c, 1, 1);
+  std::vector<double> temps, currents;
+  for (const auto& r : resp) {
+    if (!r.converged) continue;
+    temps.push_back(r.temperature_c);
+    currents.push_back(r.i_avg);
+  }
+  return max_normalized_fluctuation(temps, currents, 27.0);
+}
+
+/// Fig. 3-style fluctuation: current-mode 1FeFET-1R readout.
+double cell_current_fluctuation(const ArrayConfig& cfg,
+                                const std::vector<double>& temps_c) {
+  const auto resp = cell_current_response(cfg, temps_c, 1, 1);
+  std::vector<double> temps, currents;
+  for (const auto& r : resp) {
+    if (!r.converged) continue;
+    temps.push_back(r.temperature_c);
+    currents.push_back(r.i_drain);
+  }
+  return max_normalized_fluctuation(temps, currents, 27.0);
+}
+
+}  // namespace
+
+CalibrationReport run_calibration(const std::vector<double>& temps_c) {
+  CalibrationReport rep;
+
+  const ArrayConfig sat = ArrayConfig::baseline_1r_saturation();
+  const ArrayConfig sub = ArrayConfig::baseline_1r_subthreshold();
+  const ArrayConfig prop = ArrayConfig::proposed_2t1fefet();
+  const std::vector<double> warm = temps_above(temps_c, 20.0);
+
+  rep.fluct_1r_saturation = cell_current_fluctuation(sat, temps_c);
+  rep.fluct_1r_subthreshold = cell_current_fluctuation(sub, temps_c);
+  rep.fluct_2t = cell_fluctuation(prop, temps_c);
+  rep.fluct_2t_above_20c = cell_fluctuation(prop, warm);
+
+  const LevelSweepResult sub_levels = mac_level_sweep(sub, temps_c);
+  rep.nmr_min_1r_subthreshold = summarize_nmr(sub_levels.levels).nmr_min;
+
+  const LevelSweepResult prop_levels = mac_level_sweep(prop, temps_c);
+  const NmrSummary nmr_all = summarize_nmr(prop_levels.levels);
+  rep.nmr_min_2t = nmr_all.nmr_min;
+  rep.nmr_argmin_2t = nmr_all.argmin_mac;
+
+  const LevelSweepResult prop_warm = mac_level_sweep(prop, warm);
+  rep.nmr_min_2t_above_20c = summarize_nmr(prop_warm.levels).nmr_min;
+
+  const EnergySummary energy = measure_energy(prop, 27.0);
+  rep.energy_per_op = energy.mean_energy_per_op;
+  rep.tops_per_watt = energy.tops_per_watt;
+  return rep;
+}
+
+std::string CalibrationReport::to_string() const {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "calibration report\n"
+      "  1FeFET-1R saturation  cell fluctuation: %6.1f%%  (paper 20.6%%)\n"
+      "  1FeFET-1R subthresh.  cell fluctuation: %6.1f%%  (paper 52.1%%)\n"
+      "  2T-1FeFET             cell fluctuation: %6.1f%%  (paper 26.6%%)\n"
+      "  2T-1FeFET (>=20C)     cell fluctuation: %6.1f%%  (paper 12.4%%)\n"
+      "  1FeFET-1R subthresh.  NMR_min: %+7.3f  (paper < 0)\n"
+      "  2T-1FeFET             NMR_min: %+7.3f at MAC=%d  (paper 0.22 at 0)\n"
+      "  2T-1FeFET (>=20C)     NMR_min: %+7.3f  (paper 2.3)\n"
+      "  energy/op: %.3g fJ (paper 3.14 fJ), %.0f TOPS/W (paper 2866)\n",
+      fluct_1r_saturation * 100.0, fluct_1r_subthreshold * 100.0,
+      fluct_2t * 100.0, fluct_2t_above_20c * 100.0, nmr_min_1r_subthreshold,
+      nmr_min_2t, nmr_argmin_2t, nmr_min_2t_above_20c, energy_per_op * 1e15,
+      tops_per_watt);
+  return buf;
+}
+
+}  // namespace sfc::cim

@@ -1,0 +1,38 @@
+// Cell builders: instantiate one CiM cell (devices + local nets) inside a
+// row circuit. Used by the CiMRow array builder; exposed separately so
+// tests can probe individual devices.
+#pragma once
+
+#include <string>
+
+#include "cim/config.hpp"
+#include "spice/circuit.hpp"
+
+namespace sfc::cim {
+
+/// Handles to the devices of one instantiated cell.
+struct CellHandles {
+  fefet::FeFet* fefet = nullptr;
+  devices::Mosfet* m1 = nullptr;      ///< 2T cell only
+  devices::Mosfet* m2 = nullptr;      ///< 2T cell only
+  sfc::spice::Resistor* r_load = nullptr;  ///< 1R cell only
+  sfc::spice::Capacitor* c0 = nullptr;
+  sfc::spice::VSource* wl = nullptr;
+  std::string out_node;  ///< name of the cell output net
+  std::string wl_node;   ///< name of the wordline net
+};
+
+/// Instantiate the proposed 2T-1FeFET cell number `index` between the
+/// shared BL/SL rails. Node names: wl<i>, a<i> (internal), out<i>.
+CellHandles build_cell_2t1fefet(sfc::spice::Circuit& circuit,
+                                const Cell2TConfig& cfg, int index,
+                                const std::string& bl_node,
+                                const std::string& sl_node);
+
+/// Instantiate the baseline 1FeFET-1R cell number `index`.
+CellHandles build_cell_1fefet1r(sfc::spice::Circuit& circuit,
+                                const Cell1RConfig& cfg, int index,
+                                const std::string& bl_node,
+                                const std::string& sl_node);
+
+}  // namespace sfc::cim

@@ -1,0 +1,40 @@
+#include <string>
+
+#include "cim/cell.hpp"
+
+namespace sfc::cim {
+
+using sfc::spice::Capacitor;
+using sfc::spice::Circuit;
+using sfc::spice::Resistor;
+using sfc::spice::VSource;
+
+CellHandles build_cell_1fefet1r(Circuit& circuit, const Cell1RConfig& cfg,
+                                int index, const std::string& bl_node,
+                                const std::string& sl_node) {
+  const std::string suffix = std::to_string(index);
+  const auto bl = circuit.node(bl_node);
+  const auto sl = circuit.node(sl_node);
+  const auto wl = circuit.node("wl" + suffix);
+  const auto out = circuit.node("out" + suffix);
+
+  CellHandles h;
+  h.out_node = "out" + suffix;
+  h.wl_node = "wl" + suffix;
+
+  const auto wl_drv = circuit.node("wldrv" + suffix);
+  h.wl = &circuit.add<VSource>("WL" + suffix, wl_drv, sfc::spice::kGround, 0.0);
+  circuit.add<Resistor>("RWL" + suffix, wl_drv, wl, cfg.r_wl_driver);
+  circuit.add<Capacitor>("CWL" + suffix, wl, sfc::spice::kGround,
+                         cfg.c_wl_load);
+
+  // FeFET from BL to the output node; load resistor returns to the SL
+  // rail, so the pre-read output level sits at v_sl.
+  h.fefet = &circuit.add<fefet::FeFet>("XF" + suffix, bl, wl, out, cfg.fefet);
+  h.r_load = &circuit.add<Resistor>("R" + suffix, out, sl, cfg.r_load);
+  h.c0 = &circuit.add<Capacitor>("C0_" + suffix, out, sfc::spice::kGround,
+                                 cfg.c0, cfg.c0_initial);
+  return h;
+}
+
+}  // namespace sfc::cim

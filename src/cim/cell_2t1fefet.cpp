@@ -1,0 +1,67 @@
+#include <string>
+
+#include "cim/cell.hpp"
+
+namespace sfc::cim {
+
+using sfc::spice::Capacitor;
+using sfc::spice::Circuit;
+using sfc::spice::VSource;
+
+// Topology (see DESIGN.md "Key modelling decisions"):
+//
+//        BL (1.2 V)                 SL (0.2 V)
+//         |                          |
+//       [FeFET]  gate=WL           [M1]  gate=A
+//         |                          |
+//         A ------------------------+---- gate of nothing; A = M1 gate
+//         |                          |
+//       [M2] gate=OUT               OUT ---- C0 (ic = 0)
+//         |                          |
+//        GND                        (EN switch -> Cacc)
+//
+// The FeFET (subthreshold) pulls node A up from BL against the weak
+// long-channel M2 pulling down to ground; their balance sets A
+// ratiometrically, so temperature drift largely cancels. M1 is a weak
+// source follower charging C0 from the low-voltage SL rail - the cell's
+// output charge is drawn from the 0.2 V supply, which is where the
+// ultra-low MAC energy comes from. The OUT -> M2-gate connection closes
+// the negative feedback loop: a hotter (stronger) cell raises OUT faster,
+// which strengthens M2, drops A, and throttles M1.
+CellHandles build_cell_2t1fefet(Circuit& circuit, const Cell2TConfig& cfg,
+                                int index, const std::string& bl_node,
+                                const std::string& sl_node) {
+  const std::string suffix = std::to_string(index);
+  const auto bl = circuit.node(bl_node);
+  const auto sl = circuit.node(sl_node);
+  const auto wl = circuit.node("wl" + suffix);
+  const auto a = circuit.node("a" + suffix);
+  const auto out = circuit.node("out" + suffix);
+
+  CellHandles h;
+  h.out_node = "out" + suffix;
+  h.wl_node = "wl" + suffix;
+
+  // Wordline driver; the waveform is set per MAC evaluation. The series
+  // driver resistance dissipates the CV^2 of the WL load every cycle.
+  const auto wl_drv = circuit.node("wldrv" + suffix);
+  h.wl = &circuit.add<VSource>("WL" + suffix, wl_drv, sfc::spice::kGround, 0.0);
+  circuit.add<sfc::spice::Resistor>("RWL" + suffix, wl_drv, wl,
+                                    cfg.r_wl_driver);
+  circuit.add<Capacitor>("CWL" + suffix, wl, sfc::spice::kGround,
+                         cfg.c_wl_load);
+
+  // FeFET conducts from BL into the internal node A.
+  h.fefet = &circuit.add<fefet::FeFet>("XF" + suffix, bl, wl, a, cfg.fefet);
+  // M2: gate = OUT, drains A to ground (feedback + bias device).
+  h.m2 = &circuit.add<devices::Mosfet>("M2_" + suffix, a, out,
+                                       sfc::spice::kGround, cfg.m2);
+  // M1: gate = A, charges C0 at OUT from the SL rail (output device).
+  h.m1 = &circuit.add<devices::Mosfet>("M1_" + suffix, sl, a, out, cfg.m1);
+
+  h.c0 = &circuit.add<Capacitor>("C0_" + suffix, out, sfc::spice::kGround,
+                                 cfg.c0, cfg.c0_initial);
+  return h;
+}
+
+}  // namespace sfc::cim

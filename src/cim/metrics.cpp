@@ -1,0 +1,79 @@
+#include "cim/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace sfc::cim {
+namespace {
+// Width floor so NMR of a perfectly tight level stays finite.
+constexpr double kWidthEpsilon = 1e-9;
+
+std::size_t nearest_index(std::span<const double> temps, double t_ref) {
+  assert(!temps.empty());
+  std::size_t best = 0;
+  double best_d = std::fabs(temps[0] - t_ref);
+  for (std::size_t i = 1; i < temps.size(); ++i) {
+    const double d = std::fabs(temps[i] - t_ref);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+}  // namespace
+
+std::vector<double> noise_margin_rates(std::span<const LevelRange> levels) {
+  std::vector<double> nmr;
+  if (levels.size() < 2) return nmr;
+  nmr.reserve(levels.size() - 1);
+  for (std::size_t i = 0; i + 1 < levels.size(); ++i) {
+    assert(levels[i + 1].mac == levels[i].mac + 1 && "levels must be sorted");
+    const double width = std::max(levels[i].hi - levels[i].lo, kWidthEpsilon);
+    const double gap = levels[i + 1].lo - levels[i].hi;
+    nmr.push_back(gap / width);
+  }
+  return nmr;
+}
+
+NmrSummary summarize_nmr(std::span<const LevelRange> levels) {
+  NmrSummary s;
+  const std::vector<double> nmr = noise_margin_rates(levels);
+  if (nmr.empty()) return s;
+  s.nmr_min = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < nmr.size(); ++i) {
+    if (nmr[i] < s.nmr_min) {
+      s.nmr_min = nmr[i];
+      s.argmin_mac = levels[i].mac;
+    }
+  }
+  s.separable = s.nmr_min > 0.0;
+  return s;
+}
+
+std::vector<double> normalize_to_reference(std::span<const double> temps,
+                                           std::span<const double> values,
+                                           double reference_temp_c) {
+  assert(temps.size() == values.size());
+  std::vector<double> out(values.size(), 0.0);
+  if (values.empty()) return out;
+  const double ref = values[nearest_index(temps, reference_temp_c)];
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out[i] = ref != 0.0 ? values[i] / ref : 0.0;
+  }
+  return out;
+}
+
+double max_normalized_fluctuation(std::span<const double> temps,
+                                  std::span<const double> values,
+                                  double reference_temp_c) {
+  const std::vector<double> norm =
+      normalize_to_reference(temps, values, reference_temp_c);
+  double worst = 0.0;
+  for (double v : norm) worst = std::max(worst, std::fabs(v - 1.0));
+  return worst;
+}
+
+}  // namespace sfc::cim

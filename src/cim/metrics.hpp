@@ -1,0 +1,45 @@
+// Figure-of-merit computations from the paper:
+//   * Noise Margin Rate, Eqs. (2)-(3): separability of adjacent MAC output
+//     voltage ranges across the temperature span;
+//   * normalized output fluctuation (Figs. 3 and 7): max deviation of the
+//     cell output from its value at the 27 degC reference temperature.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace sfc::cim {
+
+/// Output-voltage range of one MAC level across the temperature span.
+struct LevelRange {
+  int mac = 0;
+  double lo = 0.0;  ///< LV_i: lowest output voltage over all temperatures
+  double hi = 0.0;  ///< HV_i: highest output voltage over all temperatures
+};
+
+/// NMR_i = (LV_{i+1} - HV_i) / (HV_i - LV_i)  for i = 0 .. n-2 (Eq. 2).
+/// Requires levels sorted by mac. A degenerate zero-width range uses a
+/// tiny epsilon width so the ratio stays finite.
+std::vector<double> noise_margin_rates(std::span<const LevelRange> levels);
+
+struct NmrSummary {
+  double nmr_min = 0.0;
+  int argmin_mac = 0;  ///< the i of NMR_min (Eq. 3)
+  bool separable = false;  ///< true iff every NMR_i > 0 (no overlap)
+};
+
+/// NMR_min = min_i NMR_i (Eq. 3).
+NmrSummary summarize_nmr(std::span<const LevelRange> levels);
+
+/// Max |value(T)/value(T_ref) - 1| over the sweep; `temps` and `values`
+/// parallel arrays. T_ref is matched to the nearest grid point.
+double max_normalized_fluctuation(std::span<const double> temps,
+                                  std::span<const double> values,
+                                  double reference_temp_c);
+
+/// Per-point normalized values value(T)/value(T_ref).
+std::vector<double> normalize_to_reference(std::span<const double> temps,
+                                           std::span<const double> values,
+                                           double reference_temp_c);
+
+}  // namespace sfc::cim

@@ -1,0 +1,126 @@
+#include "cim/montecarlo.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace sfc::cim {
+
+std::vector<ProcessCorner> standard_corners() {
+  return {
+      {"TT", 0.0, 1.0},
+      {"SS", +0.030, 0.88},
+      {"FF", -0.030, 1.12},
+  };
+}
+
+ArrayConfig apply_corner(const ArrayConfig& cfg, const ProcessCorner& corner) {
+  ArrayConfig out = cfg;
+  auto shift_mos = [&](devices::MosfetParams& p) {
+    p.vth0 += corner.dvth;
+    p.mu0 *= corner.mobility_scale;
+  };
+  auto shift_fefet = [&](fefet::FeFetParams& p) {
+    // Global VTH shift enters through the ferroelectric window midpoint.
+    p.ferroelectric.vth_low += corner.dvth;
+    p.ferroelectric.vth_high += corner.dvth;
+    p.channel.mu0 *= corner.mobility_scale;
+  };
+  shift_fefet(out.cell2t.fefet);
+  shift_fefet(out.cell1r.fefet);
+  shift_mos(out.cell2t.m1);
+  shift_mos(out.cell2t.m2);
+  return out;
+}
+
+std::vector<double> MonteCarloResult::errors() const {
+  std::vector<double> e;
+  e.reserve(samples.size());
+  for (const auto& s : samples) e.push_back(s.error_percent);
+  return e;
+}
+
+MonteCarloResult run_montecarlo(const ArrayConfig& cfg,
+                                const MonteCarloConfig& mc) {
+  const int n = cfg.cells_per_row;
+  CiMRow row(cfg);
+  MonteCarloResult result;
+
+  std::vector<int> macs = mc.mac_values;
+  if (macs.empty()) {
+    for (int k = 0; k <= n; ++k) macs.push_back(k);
+  }
+
+  auto pattern_for = [n](int k) {
+    std::vector<int> inputs(static_cast<std::size_t>(n), 1);
+    for (int i = k; i < n; ++i) inputs[static_cast<std::size_t>(i)] = 0;
+    return inputs;
+  };
+
+  // Nominal (variation-free) levels first; they define both the reference
+  // outputs and the level spacing that normalizes the error.
+  row.clear_vth_shifts();
+  row.set_stored(std::vector<int>(static_cast<std::size_t>(n), 1));
+  std::vector<double> nominal(static_cast<std::size_t>(n) + 1, 0.0);
+  for (int k = 0; k <= n; ++k) {
+    MacResult r = row.evaluate(pattern_for(k), mc.temperature_c);
+    if (!r.converged) result.all_converged = false;
+    nominal[static_cast<std::size_t>(k)] = r.v_acc;
+  }
+  result.nominal_levels = nominal;
+  double spacing_sum = 0.0;
+  for (int k = 0; k < n; ++k) {
+    spacing_sum += nominal[static_cast<std::size_t>(k) + 1] -
+                   nominal[static_cast<std::size_t>(k)];
+  }
+  result.level_spacing = std::fabs(spacing_sum) / static_cast<double>(n);
+  result.full_scale =
+      std::fabs(nominal[static_cast<std::size_t>(n)] - nominal[0]);
+  assert(result.level_spacing > 0.0);
+
+  util::Rng rng(mc.seed);
+  for (int run = 0; run < mc.runs; ++run) {
+    std::vector<double> fe_shifts(static_cast<std::size_t>(n));
+    std::vector<double> m1_shifts(static_cast<std::size_t>(n), 0.0);
+    std::vector<double> m2_shifts(static_cast<std::size_t>(n), 0.0);
+    for (auto& s : fe_shifts) s = rng.normal(0.0, mc.sigma_vt_fefet);
+    if (mc.sigma_vt_mosfet > 0.0) {
+      for (auto& s : m1_shifts) s = rng.normal(0.0, mc.sigma_vt_mosfet);
+      for (auto& s : m2_shifts) s = rng.normal(0.0, mc.sigma_vt_mosfet);
+    }
+    row.set_fefet_vth_shifts(fe_shifts);
+    row.set_mosfet_vth_shifts(m1_shifts, m2_shifts);
+
+    for (int k : macs) {
+      MacResult r = row.evaluate(pattern_for(k), mc.temperature_c);
+      if (!r.converged) {
+        result.all_converged = false;
+        continue;
+      }
+      MonteCarloSample s;
+      s.run = run;
+      s.mac = k;
+      s.v_acc = r.v_acc;
+      const double deviation =
+          std::fabs(r.v_acc - nominal[static_cast<std::size_t>(k)]);
+      s.error_percent = deviation / result.full_scale * 100.0;
+      s.error_levels = deviation / result.level_spacing;
+      result.max_error_percent =
+          std::max(result.max_error_percent, s.error_percent);
+      result.max_error_levels =
+          std::max(result.max_error_levels, s.error_levels);
+      result.samples.push_back(s);
+    }
+  }
+  if (!result.samples.empty()) {
+    double sum = 0.0;
+    for (const auto& s : result.samples) sum += s.error_percent;
+    result.mean_error_percent = sum / static_cast<double>(result.samples.size());
+  }
+  row.clear_vth_shifts();
+  return result;
+}
+
+}  // namespace sfc::cim

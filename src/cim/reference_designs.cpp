@@ -1,0 +1,55 @@
+#include "cim/reference_designs.hpp"
+
+#include <cstdio>
+
+namespace sfc::cim {
+
+std::vector<DesignRow> reference_designs() {
+  // Values transcribed from Table II of the paper.
+  std::vector<DesignRow> rows;
+  rows.push_back({"[34]", "CMOS", "65nm", "6T SRAM", "Cifar-10 / MNIST",
+                  "VGG / LeNet-5", "88.83% / 99.05%",
+                  "158.203nJ (/inference)", 0.0, 0.0});
+  rows.push_back({"[35]", "CMOS", "65nm", "12T SRAM", "Cifar-10", "BNN",
+                  "85.7%", "2.48-7.19fJ (/operation)", 403.0, 4.8e-15});
+  rows.push_back({"[17]", "FeFET", "28nm", "1FeFET-1R", "/", "/", "/", "NA",
+                  13714.0, 0.0});
+  rows.push_back({"[19]", "FeFET", "28nm", "1FeFET-1T", "MNIST", "MLP",
+                  "97.6%", "17.6uJ (/inference)", 0.0, 0.0});
+  rows.push_back({"[14]", "ReRAM", "22nm", "1T-1R", "Cifar-10", "VGG",
+                  "91.72%", "~5.5uJ (/inference)", 26.66, 202.8e-15});
+  rows.push_back({"[36]", "MTJ", "28nm", "1T-1MTJ", "/", "/", "/",
+                  "1.4pJ (/operation)", 32.0, 1.4e-12});
+  return rows;
+}
+
+DesignRow this_work_row(double accuracy_percent, double energy_per_op_joules,
+                        double tops_per_watt,
+                        double energy_per_inference_joules) {
+  DesignRow row;
+  row.work = "This Work";
+  row.device = "FeFET";
+  row.process = "14nm";
+  row.cell = "2T-1FeFET";
+  row.dataset = "SynthCIFAR*";
+  row.network = "VGG";
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%.2f%%", accuracy_percent);
+  row.accuracy = buf;
+  std::snprintf(buf, sizeof(buf), "%.2fnJ (/inference), %.2ffJ (/operation)",
+                energy_per_inference_joules * 1e9,
+                energy_per_op_joules * 1e15);
+  row.energy = buf;
+  row.tops_per_watt = tops_per_watt;
+  row.energy_per_op_joules = energy_per_op_joules;
+  return row;
+}
+
+double energy_ratio_vs(const DesignRow& reference, double this_work_e_op) {
+  if (reference.energy_per_op_joules <= 0.0 || this_work_e_op <= 0.0) {
+    return 0.0;
+  }
+  return reference.energy_per_op_joules / this_work_e_op;
+}
+
+}  // namespace sfc::cim

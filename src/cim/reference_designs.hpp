@@ -1,0 +1,36 @@
+// Analytic models of the comparison designs in Table II. These rows are
+// literature numbers the paper cites ([34][35][17][19][14][36]); the
+// "This Work" row is produced by our own measurements.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sfc::cim {
+
+struct DesignRow {
+  std::string work;      ///< citation tag, e.g. "[34]"
+  std::string device;    ///< CMOS / FeFET / ReRAM / MTJ
+  std::string process;
+  std::string cell;
+  std::string dataset;
+  std::string network;
+  std::string accuracy;  ///< preformatted (some rows have two entries)
+  std::string energy;    ///< preformatted, mixed units in the paper
+  double tops_per_watt = 0.0;      ///< 0 = not reported
+  double energy_per_op_joules = 0.0;  ///< 0 = not reported per-op
+};
+
+/// The six comparison rows of Table II.
+std::vector<DesignRow> reference_designs();
+
+/// Build the "This Work" row from measured numbers.
+DesignRow this_work_row(double accuracy_percent, double energy_per_op_joules,
+                        double tops_per_watt,
+                        double energy_per_inference_joules);
+
+/// Energy ratio of a reference design vs. this work (paper quotes ReRAM
+/// 64.6x and MTJ 445.9x); returns 0 when the row has no per-op energy.
+double energy_ratio_vs(const DesignRow& reference, double this_work_e_op);
+
+}  // namespace sfc::cim

@@ -1,0 +1,69 @@
+// CiMTile: a weight-matrix tile built from CiM rows.
+//
+// Maps an (rows x columns) binary weight matrix onto row circuits of the
+// configured cell (8 cells per row in the paper). A matrix-vector product
+// with a binary input vector is computed row by row: each row's analog
+// MAC is evaluated by the circuit simulator and decoded by the fixed-
+// reference ADC of the sensing circuit. Columns wider than one row are
+// split across several row circuits whose digital outputs are summed -
+// exactly how a larger-than-8 dot product is composed in the paper's
+// architecture.
+//
+// This is the circuit-accurate (slow, exact) sibling of the behavioural
+// fast path used for CNN-scale workloads (behavioral.hpp).
+#pragma once
+
+#include <vector>
+
+#include "cim/array.hpp"
+#include "cim/behavioral.hpp"
+
+namespace sfc::cim {
+
+class CiMTile {
+ public:
+  /// `weights[r][c]` with arbitrary column count; rows are split into
+  /// segments of cfg.cells_per_row cells (zero-padded at the tail).
+  CiMTile(ArrayConfig cfg, std::vector<std::vector<int>> weights);
+
+  int rows() const { return static_cast<int>(weights_.size()); }
+  int columns() const { return columns_; }
+  int segments_per_row() const { return segments_; }
+
+  struct Result {
+    /// Digital dot product per matrix row (sum of decoded segment MACs).
+    std::vector<int> values;
+    /// True (error-free) dot products for comparison.
+    std::vector<int> expected;
+    /// Raw V_acc per (row, segment).
+    std::vector<std::vector<double>> v_acc;
+    double energy_joules = 0.0;
+    bool converged = true;
+
+    int errors() const {
+      int n = 0;
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        if (values[i] != expected[i]) ++n;
+      }
+      return n;
+    }
+  };
+
+  /// Circuit-accurate matrix-vector product with a binary input vector at
+  /// the given temperature. The ADC references come from `adc` (calibrate
+  /// once at the design temperature).
+  Result multiply(const std::vector<int>& input, double temperature_c,
+                  const BehavioralArrayModel& adc);
+
+ private:
+  ArrayConfig cfg_;
+  std::vector<std::vector<int>> weights_;
+  int columns_ = 0;
+  int segments_ = 0;
+  /// One physical row circuit reused across logical rows/segments (the
+  /// FeFET states are reprogrammed as the sweep proceeds, mirroring a
+  /// time-multiplexed tile driver).
+  CiMRow row_;
+};
+
+}  // namespace sfc::cim

@@ -1,0 +1,137 @@
+#include "data/synth_cifar.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sfc::data {
+namespace {
+
+constexpr int kN = Image::kSize;
+
+/// Per-class base colors (RGB in [0,1]); hue jitter is applied on top so
+/// color alone cannot solve the task.
+constexpr float kBaseColor[Dataset::kNumClasses][3] = {
+    {0.9f, 0.3f, 0.3f}, {0.3f, 0.9f, 0.3f}, {0.3f, 0.4f, 0.9f},
+    {0.9f, 0.8f, 0.3f}, {0.8f, 0.3f, 0.8f}, {0.3f, 0.9f, 0.9f},
+    {0.9f, 0.6f, 0.3f}, {0.6f, 0.6f, 0.9f}, {0.7f, 0.9f, 0.5f},
+    {0.9f, 0.5f, 0.6f}};
+
+const char* kClassNames[Dataset::kNumClasses] = {
+    "h-stripes", "v-stripes", "d-stripes", "checker", "disk",
+    "ring",      "cross",     "squares",   "blobs",   "wedge"};
+
+/// Scalar intensity pattern in [0,1] for class `label` at pixel (x, y).
+double pattern_value(int label, int x, int y, double phase, double scale,
+                     double cx, double cy) {
+  const double fx = (x - cx) / scale;
+  const double fy = (y - cy) / scale;
+  switch (label) {
+    case 0:  // horizontal stripes
+      return 0.5 + 0.5 * std::sin(fy + phase);
+    case 1:  // vertical stripes
+      return 0.5 + 0.5 * std::sin(fx + phase);
+    case 2:  // diagonal stripes
+      return 0.5 + 0.5 * std::sin((fx + fy) * 0.7071 + phase);
+    case 3:  // checkerboard
+      return (std::sin(fx + phase) * std::sin(fy + phase)) > 0.0 ? 1.0 : 0.0;
+    case 4: {  // filled disk
+      const double r = std::sqrt(fx * fx + fy * fy);
+      return r < 3.0 ? 1.0 : 0.15;
+    }
+    case 5: {  // ring
+      const double r = std::sqrt(fx * fx + fy * fy);
+      return (r > 2.0 && r < 3.6) ? 1.0 : 0.15;
+    }
+    case 6:  // cross
+      return (std::fabs(fx) < 0.9 || std::fabs(fy) < 0.9) ? 1.0 : 0.15;
+    case 7: {  // concentric squares
+      const double r = std::max(std::fabs(fx), std::fabs(fy));
+      return 0.5 + 0.5 * std::sin(2.2 * r + phase);
+    }
+    case 8: {  // two blobs
+      const double d1 = (fx - 1.8) * (fx - 1.8) + (fy - 1.2) * (fy - 1.2);
+      const double d2 = (fx + 1.8) * (fx + 1.8) + (fy + 1.2) * (fy + 1.2);
+      return 0.15 + 0.85 * (std::exp(-d1 / 2.5) + std::exp(-d2 / 2.5));
+    }
+    case 9:  // gradient wedge
+      return std::clamp(0.5 + (fx * std::cos(phase) + fy * std::sin(phase)) / 8.0,
+                        0.0, 1.0);
+    default:
+      return 0.0;
+  }
+}
+
+}  // namespace
+
+const char* class_name(int label) {
+  assert(label >= 0 && label < Dataset::kNumClasses);
+  return kClassNames[label];
+}
+
+Image make_synth_image(int label, sfc::util::Rng& rng,
+                       const SynthCifarConfig& cfg) {
+  assert(label >= 0 && label < Dataset::kNumClasses);
+  Image img;
+  img.label = label;
+  img.pixels.assign(static_cast<std::size_t>(Image::kChannels) * kN * kN, 0.0f);
+
+  const double phase = rng.uniform(0.0, 2.0 * M_PI);
+  const double scale = rng.uniform(2.2, 4.0);
+  const double cx = kN / 2.0 + rng.uniform(-5.0, 5.0);
+  const double cy = kN / 2.0 + rng.uniform(-5.0, 5.0);
+
+  // Per-image color modulation around the class base color.
+  double color[3];
+  for (int c = 0; c < 3; ++c) {
+    color[c] = kBaseColor[label][c] *
+               (1.0 + rng.uniform(-cfg.color_jitter, cfg.color_jitter));
+  }
+  // Background tint, weakly correlated with the class.
+  const double bg = rng.uniform(0.05, 0.25);
+
+  for (int y = 0; y < kN; ++y) {
+    for (int x = 0; x < kN; ++x) {
+      const double v = pattern_value(label, x, y, phase, scale, cx, cy);
+      for (int c = 0; c < 3; ++c) {
+        double p = bg + (1.0 - bg) * v * color[c];
+        p += rng.normal(0.0, cfg.noise_sigma);
+        img.at(c, y, x) = static_cast<float>(std::clamp(p, 0.0, 1.0));
+      }
+    }
+  }
+  return img;
+}
+
+namespace {
+Dataset make_split(const SynthCifarConfig& cfg, int per_class,
+                   std::uint64_t stream_salt) {
+  Dataset ds;
+  ds.images.reserve(static_cast<std::size_t>(per_class) *
+                    Dataset::kNumClasses);
+  sfc::util::Rng rng(cfg.seed ^ stream_salt);
+  for (int label = 0; label < Dataset::kNumClasses; ++label) {
+    for (int i = 0; i < per_class; ++i) {
+      ds.images.push_back(make_synth_image(label, rng, cfg));
+    }
+  }
+  // Deterministic shuffle so batches mix classes.
+  sfc::util::Rng shuffle_rng(cfg.seed ^ stream_salt ^ 0xabcdefULL);
+  const auto perm = shuffle_rng.permutation(ds.images.size());
+  std::vector<Image> shuffled;
+  shuffled.reserve(ds.images.size());
+  for (std::size_t idx : perm) shuffled.push_back(std::move(ds.images[idx]));
+  ds.images = std::move(shuffled);
+  return ds;
+}
+}  // namespace
+
+Dataset make_synth_cifar_train(const SynthCifarConfig& cfg) {
+  return make_split(cfg, cfg.train_per_class, 0x7121a11ULL);
+}
+
+Dataset make_synth_cifar_test(const SynthCifarConfig& cfg) {
+  return make_split(cfg, cfg.test_per_class, 0x7e57ULL);
+}
+
+}  // namespace sfc::data

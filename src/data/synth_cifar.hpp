@@ -1,0 +1,60 @@
+// SynthCIFAR: a procedural 10-class, 32x32x3 image dataset standing in for
+// CIFAR-10 (no dataset ships with this container; see DESIGN.md).
+//
+// Each class is a parameterized texture/shape family (stripes at several
+// orientations, checkerboard, disk, ring, cross, concentric squares,
+// two-blob scenes, gradient wedges) with randomized phase, scale, position,
+// per-class hue, and additive noise - hard enough that a linear classifier
+// underperforms and a small CNN is needed, which is what the CiM accuracy
+// experiment requires.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace sfc::data {
+
+/// One image in CHW float layout, values in [0, 1].
+struct Image {
+  static constexpr int kSize = 32;
+  static constexpr int kChannels = 3;
+  std::vector<float> pixels;  ///< kChannels * kSize * kSize
+  int label = 0;
+
+  float& at(int c, int y, int x) {
+    return pixels[static_cast<std::size_t>((c * kSize + y) * kSize + x)];
+  }
+  float at(int c, int y, int x) const {
+    return pixels[static_cast<std::size_t>((c * kSize + y) * kSize + x)];
+  }
+};
+
+struct Dataset {
+  std::vector<Image> images;
+  static constexpr int kNumClasses = 10;
+
+  std::size_t size() const { return images.size(); }
+};
+
+struct SynthCifarConfig {
+  int train_per_class = 200;
+  int test_per_class = 40;
+  std::uint64_t seed = 0xc1fa7;
+  double noise_sigma = 0.10;   ///< additive Gaussian pixel noise
+  double color_jitter = 0.15;  ///< per-image hue scaling jitter
+};
+
+/// Deterministic train/test splits (disjoint random streams).
+Dataset make_synth_cifar_train(const SynthCifarConfig& cfg = {});
+Dataset make_synth_cifar_test(const SynthCifarConfig& cfg = {});
+
+/// Generate a single sample of class `label` from an explicit stream.
+Image make_synth_image(int label, sfc::util::Rng& rng,
+                       const SynthCifarConfig& cfg = {});
+
+/// Human-readable class names (texture families).
+const char* class_name(int label);
+
+}  // namespace sfc::data

@@ -1,0 +1,84 @@
+#include "devices/diode.hpp"
+
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace sfc::devices {
+namespace {
+// Exponent clamp: beyond this the linearization continues the exponential
+// tangentially, keeping currents finite.
+constexpr double kMaxExponent = 60.0;
+
+/// SPICE-style saturation-current temperature law:
+///   Is(T) = Is * (T/Tnom)^(XTI/N) * exp( (Eg/N) * (1/VTnom - 1/VT) )
+double saturation_current(const DiodeParams& p, double temperature_c) {
+  const double t = sfc::util::celsius_to_kelvin(temperature_c);
+  const double tnom = sfc::util::celsius_to_kelvin(p.t_nominal_c);
+  const double vt = sfc::util::thermal_voltage(t);
+  const double vtnom = sfc::util::thermal_voltage(tnom);
+  const double ratio_term =
+      std::pow(t / tnom, p.xti / p.emission);
+  const double activation =
+      std::exp(p.eg / p.emission * (1.0 / vtnom - 1.0 / vt));
+  return p.i_sat * ratio_term * activation;
+}
+
+}  // namespace
+
+Diode::Diode(std::string name, sfc::spice::NodeId anode,
+             sfc::spice::NodeId cathode, DiodeParams params)
+    : Device(std::move(name)), anode_(anode), cathode_(cathode), p_(params) {}
+
+double Diode::current(double v, double temperature_c) const {
+  const double t_kelvin = sfc::util::celsius_to_kelvin(temperature_c);
+  const double vt = sfc::util::thermal_voltage(t_kelvin) * p_.emission;
+  const double isat = saturation_current(p_, temperature_c);
+  const double x = v / vt;
+  if (x > kMaxExponent) {
+    // Tangential continuation past the clamp.
+    const double i_clamp = isat * (std::exp(kMaxExponent) - 1.0);
+    const double g_clamp = isat * std::exp(kMaxExponent) / vt;
+    return i_clamp + g_clamp * (v - kMaxExponent * vt);
+  }
+  return isat * std::expm1(x);
+}
+
+void Diode::stamp(const sfc::spice::SimContext& ctx,
+                  sfc::spice::Stamper& s) {
+  const double v = vdiff(s, anode_, cathode_);
+  const double t_kelvin = sfc::util::celsius_to_kelvin(ctx.temperature_c);
+  const double vt = sfc::util::thermal_voltage(t_kelvin) * p_.emission;
+  const double isat = saturation_current(p_, ctx.temperature_c);
+
+  double i, g;
+  const double x = v / vt;
+  if (x > kMaxExponent) {
+    const double e = std::exp(kMaxExponent);
+    g = isat * e / vt;
+    i = isat * (e - 1.0) + g * (v - kMaxExponent * vt);
+  } else {
+    i = isat * std::expm1(x);
+    g = isat * std::exp(std::max(x, -kMaxExponent)) / vt;
+  }
+  g = std::max(g, 1e-15);
+
+  s.conductance(anode_, cathode_, g);
+  s.current(anode_, cathode_, i - g * v);
+}
+
+void Diode::stamp_ac(const sfc::spice::SimContext& ctx,
+                     sfc::spice::AcStamper& s) {
+  // Small-signal conductance at the DC bias point.
+  const double v = s.dc_v(anode_) - s.dc_v(cathode_);
+  const double t_kelvin = sfc::util::celsius_to_kelvin(ctx.temperature_c);
+  const double vt = sfc::util::thermal_voltage(t_kelvin) * p_.emission;
+  const double h = vt * 1e-3;
+  const double g = std::max(
+      (current(v + h, ctx.temperature_c) - current(v - h, ctx.temperature_c)) /
+          (2.0 * h),
+      1e-15);
+  s.conductance(anode_, cathode_, g);
+}
+
+}  // namespace sfc::devices

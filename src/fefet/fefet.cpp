@@ -1,0 +1,31 @@
+#include "fefet/fefet.hpp"
+
+namespace sfc::fefet {
+
+FeFetParams FeFetParams::reference(double w_over_l) {
+  FeFetParams p;
+  p.channel = devices::MosfetParams::finfet14_nmos(w_over_l);
+  // The ferroelectric supplies the whole threshold; the channel keeps only
+  // its temperature coefficient. FeFETs show a stronger VTH drift than the
+  // plain FinFET (ferroelectric/interface charge, cf. Gupta et al. IRPS'20),
+  // hence the larger |tc_vth|.
+  p.channel.vth0 = 0.0;
+  p.channel.tc_vth = -2.0e-3;
+  return p;
+}
+
+FeFet::FeFet(std::string name, sfc::spice::NodeId drain,
+             sfc::spice::NodeId gate, sfc::spice::NodeId source,
+             FeFetParams params)
+    : Mosfet(std::move(name), drain, gate, source, params.channel),
+      fe_(params.ferroelectric) {}
+
+void FeFet::write_bit(bool one, double temperature_c) {
+  fe_.write_bit(one, temperature_c);
+}
+
+double FeFet::effective_vth(double temperature_c) const {
+  return params().vth(temperature_c) + fe_.vth(temperature_c) + vth_shift();
+}
+
+}  // namespace sfc::fefet

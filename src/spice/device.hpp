@@ -1,0 +1,195 @@
+// Device interface for the MNA-based circuit simulator.
+//
+// A Device linearizes itself around the current Newton iterate and stamps
+// conductances / current sources (companion model) into the system
+//   A * x = b
+// where x = [node voltages | auxiliary branch currents].
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spice/matrix.hpp"
+
+namespace sfc::spice {
+
+/// Node handle. Ground is the dedicated constant below and is not part of
+/// the solution vector.
+using NodeId = int;
+inline constexpr NodeId kGround = -1;
+
+enum class AnalysisMode {
+  kDcOperatingPoint,  ///< capacitors open, inductors short
+  kTransient,         ///< companion models active
+};
+
+enum class IntegrationMethod {
+  kBackwardEuler,  ///< robust, first order (default for step 1 / breakpoints)
+  kTrapezoidal,    ///< second order
+};
+
+/// Per-solve context handed to every Device::stamp call.
+struct SimContext {
+  AnalysisMode mode = AnalysisMode::kDcOperatingPoint;
+  IntegrationMethod method = IntegrationMethod::kBackwardEuler;
+  double time = 0.0;           ///< end time of the step being solved [s]
+  double dt = 0.0;             ///< step size [s]; 0 during DC
+  double temperature_c = 27.0; ///< global simulation temperature [degC]
+  double gmin = 1e-12;         ///< current gmin (node-to-ground leak)
+  /// Number of non-ground nodes; aux variable k of a device lives at
+  /// x[num_nodes + aux_base + k]. Set by the engine.
+  std::size_t num_nodes = 0;
+};
+
+/// Assembly facade: devices only see stamping primitives, never the matrix
+/// layout. Rows/cols: nodes first, then auxiliary variables.
+class Stamper {
+ public:
+  Stamper(DenseMatrix& a, std::vector<double>& b,
+          const std::vector<double>& x, std::size_t num_nodes);
+
+  /// Voltage of a node at the current Newton iterate (ground = 0 V).
+  double v(NodeId n) const;
+
+  /// Value of auxiliary variable `aux_index` (global index).
+  double aux(int aux_index) const;
+
+  /// Conductance g between nodes a and b.
+  void conductance(NodeId a, NodeId b, double g);
+
+  /// Conductance g from node a to ground.
+  void conductance_to_ground(NodeId a, double g);
+
+  /// Independent current i flowing from node `from` into node `to`.
+  void current(NodeId from, NodeId to, double i);
+
+  /// Voltage-controlled current source: i(out_p -> out_n) = gm * v(ctrl_p, ctrl_n).
+  void vccs(NodeId out_p, NodeId out_n, NodeId ctrl_p, NodeId ctrl_n, double gm);
+
+  // Raw access for devices with auxiliary variables (voltage sources,
+  // inductors). Row/col indexing: node n -> n, aux k -> num_nodes + k.
+  int node_row(NodeId n) const;
+  int aux_row(int aux_index) const;
+  void add_matrix(int row, int col, double value);
+  void add_rhs(int row, double value);
+
+ private:
+  DenseMatrix& a_;
+  std::vector<double>& b_;
+  const std::vector<double>& x_;
+  std::size_t num_nodes_;
+};
+
+/// Assembly facade for AC (small-signal) analysis: the complex system
+/// (G + jwC) x = b, linearized at a DC operating point.
+class AcStamper {
+ public:
+  using Scalar = std::complex<double>;
+
+  AcStamper(ComplexMatrix& a, std::vector<Scalar>& b,
+            const std::vector<double>& dc_x, std::size_t num_nodes,
+            double omega);
+
+  /// Angular frequency of this solve [rad/s].
+  double omega() const { return omega_; }
+
+  /// DC bias voltage of a node (linearization point).
+  double dc_v(NodeId n) const;
+  double dc_aux(int aux_index) const;
+
+  void conductance(NodeId a, NodeId b, double g);
+  /// Susceptance of a capacitor: adds j*omega*c between the nodes.
+  void capacitance(NodeId a, NodeId b, double c);
+  void vccs(NodeId out_p, NodeId out_n, NodeId ctrl_p, NodeId ctrl_n,
+            double gm);
+
+  int node_row(NodeId n) const;
+  int aux_row(int aux_index) const;
+  void add_matrix(int row, int col, Scalar value);
+  void add_rhs(int row, Scalar value);
+
+ private:
+  ComplexMatrix& a_;
+  std::vector<Scalar>& b_;
+  const std::vector<double>& dc_x_;
+  std::size_t num_nodes_;
+  double omega_;
+};
+
+/// Base class for all circuit elements.
+class Device {
+ public:
+  explicit Device(std::string name) : name_(std::move(name)) {}
+  virtual ~Device() = default;
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Number of auxiliary (branch-current) variables this device needs.
+  virtual int num_aux() const { return 0; }
+
+  /// Assigned by Circuit::finalize(); global index of first aux variable.
+  void set_aux_base(int base) { aux_base_ = base; }
+  int aux_base() const { return aux_base_; }
+
+  /// Stamp the linearized device into the system.
+  virtual void stamp(const SimContext& ctx, Stamper& s) = 0;
+
+  /// Stamp the small-signal model at the DC operating point carried by
+  /// the AcStamper. Default: the device contributes nothing (open),
+  /// which is correct for ideal switches-off and digital-only elements;
+  /// all analog primitives override this.
+  virtual void stamp_ac(const SimContext& ctx, AcStamper& s) {
+    (void)ctx;
+    (void)s;
+  }
+
+  /// Called once when a transient starts, with the converged DC solution.
+  virtual void start_transient(const SimContext& ctx,
+                               const std::vector<double>& x) {
+    (void)ctx;
+    (void)x;
+  }
+
+  /// Called after each accepted transient step; devices commit history
+  /// (e.g. capacitor charge) here.
+  virtual void accept_step(const SimContext& ctx,
+                           const std::vector<double>& x) {
+    (void)ctx;
+    (void)x;
+  }
+
+  /// Power delivered *by* this device into the circuit [W] at the accepted
+  /// solution x (sources override; passives return 0 = they only absorb).
+  virtual double delivered_power(const SimContext& ctx,
+                                 const std::vector<double>& x) const {
+    (void)ctx;
+    (void)x;
+    return 0.0;
+  }
+
+  /// Time points where this device's waveforms have corners; the transient
+  /// engine aligns steps to them so pulse edges are never skipped.
+  virtual void collect_breakpoints(double t_stop,
+                                   std::vector<double>& out) const {
+    (void)t_stop;
+    (void)out;
+  }
+
+  /// Connected nodes (diagnostics / netlist printing).
+  virtual std::vector<NodeId> terminals() const = 0;
+
+ protected:
+  /// Helper for subclasses: voltage difference v(a) - v(b).
+  static double vdiff(const Stamper& s, NodeId a, NodeId b) {
+    return s.v(a) - s.v(b);
+  }
+
+ private:
+  std::string name_;
+  int aux_base_ = -1;
+};
+
+}  // namespace sfc::spice

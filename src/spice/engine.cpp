@@ -1,0 +1,385 @@
+#include "spice/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sfc::spice {
+
+Engine::Engine(Circuit& circuit, double temperature_c)
+    : circuit_(circuit), temperature_c_(temperature_c) {
+  circuit_.finalize();
+}
+
+void Engine::set_node_guess(const std::string& node, double volts) {
+  node_guesses_.emplace_back(node, volts);
+}
+
+void Engine::clear_node_guesses() { node_guesses_.clear(); }
+
+std::vector<double> Engine::initial_vector() const {
+  std::vector<double> x(circuit_.system_size(), 0.0);
+  for (const auto& [name, volts] : node_guesses_) {
+    // Guesses for nodes that were never created are silently ignored; this
+    // lets generic setup code seed optional probe nodes.
+    if (!circuit_.has_node(name)) continue;
+    const NodeId id = const_cast<Circuit&>(circuit_).node(name);
+    if (id != kGround) x[static_cast<std::size_t>(id)] = volts;
+  }
+  return x;
+}
+
+void Engine::assemble(const SimContext& ctx, const std::vector<double>& x,
+                      DenseMatrix& a, std::vector<double>& b) const {
+  a.set_zero();
+  std::fill(b.begin(), b.end(), 0.0);
+  Stamper stamper(a, b, x, circuit_.num_nodes());
+  for (const auto& dev : circuit_.devices()) {
+    dev->stamp(ctx, stamper);
+  }
+  // gmin from every node to ground keeps the matrix nonsingular when
+  // subthreshold devices are effectively off.
+  for (std::size_t n = 0; n < circuit_.num_nodes(); ++n) {
+    a.at(n, n) += ctx.gmin;
+  }
+}
+
+bool Engine::newton_solve(const SimContext& ctx, std::vector<double>& x,
+                          const NewtonOptions& options, int* iterations_out) {
+  const std::size_t size = circuit_.system_size();
+  DenseMatrix a(size, size);
+  std::vector<double> b(size, 0.0);
+  std::vector<double> x_new(size, 0.0);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    assemble(ctx, x, a, b);
+    x_new = b;
+    if (!lu_solve(a, x_new)) {
+      if (iterations_out) *iterations_out = iter + 1;
+      return false;
+    }
+
+    // Damped update: clamp each voltage component's change. Aux variables
+    // (branch currents) are left unclamped, as their scale is unknown.
+    double max_delta_v = 0.0;
+    bool aux_converged = true;
+    for (std::size_t i = 0; i < size; ++i) {
+      double delta = x_new[i] - x[i];
+      if (i < circuit_.num_nodes()) {
+        const double limit = options.max_update_voltage;
+        if (delta > limit) delta = limit;
+        if (delta < -limit) delta = -limit;
+        max_delta_v = std::max(max_delta_v, std::fabs(delta));
+        x[i] += delta;
+      } else {
+        const double tol =
+            options.reltol * std::max(std::fabs(x[i]), std::fabs(x_new[i])) +
+            1e-15;
+        if (std::fabs(delta) > tol) aux_converged = false;
+        x[i] = x_new[i];
+      }
+    }
+
+    if (iterations_out) *iterations_out = iter + 1;
+    const double vtol_eff = options.vtol;
+    if (max_delta_v < vtol_eff && aux_converged && iter > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+DcResult Engine::dc_operating_point(const NewtonOptions& options,
+                                    const std::vector<double>* warm_start) {
+  circuit_.finalize();
+  DcResult result;
+  SimContext ctx;
+  ctx.mode = AnalysisMode::kDcOperatingPoint;
+  ctx.temperature_c = temperature_c_;
+  ctx.time = 0.0;
+  ctx.dt = 0.0;
+  ctx.num_nodes = circuit_.num_nodes();
+
+  std::vector<double> x =
+      (warm_start && warm_start->size() == circuit_.system_size())
+          ? *warm_start
+          : initial_vector();
+
+  // Plain attempt at final gmin, then gmin stepping from a large leak.
+  ctx.gmin = options.gmin_final;
+  int iters = 0;
+  bool ok = newton_solve(ctx, x, options, &iters);
+  result.iterations += iters;
+
+  if (!ok) {
+    x = initial_vector();
+    double gmin = options.gmin_start;
+    ok = true;
+    while (gmin >= options.gmin_final * 0.999) {
+      ctx.gmin = gmin;
+      int step_iters = 0;
+      if (!newton_solve(ctx, x, options, &step_iters)) {
+        ok = false;
+        result.iterations += step_iters;
+        break;
+      }
+      result.iterations += step_iters;
+      if (gmin == options.gmin_final) break;
+      gmin = std::max(gmin / options.gmin_step_factor, options.gmin_final);
+    }
+  }
+
+  result.converged = ok;
+  result.gmin_used = ctx.gmin;
+  result.x = x;
+  for (std::size_t n = 0; n < circuit_.num_nodes(); ++n) {
+    result.voltages[circuit_.node_name(static_cast<NodeId>(n))] = x[n];
+  }
+  for (const auto& dev : circuit_.devices()) {
+    if (dev->num_aux() == 1) {
+      result.currents["I(" + dev->name() + ")"] =
+          x[circuit_.num_nodes() + static_cast<std::size_t>(dev->aux_base())];
+    }
+  }
+  return result;
+}
+
+std::vector<std::string> Engine::signal_names() const {
+  std::vector<std::string> names;
+  names.reserve(circuit_.system_size());
+  for (std::size_t n = 0; n < circuit_.num_nodes(); ++n) {
+    names.push_back(circuit_.node_name(static_cast<NodeId>(n)));
+  }
+  for (const auto& dev : circuit_.devices()) {
+    for (int k = 0; k < dev->num_aux(); ++k) {
+      if (dev->num_aux() == 1) {
+        names.push_back("I(" + dev->name() + ")");
+      } else {
+        names.push_back("I(" + dev->name() + "." + std::to_string(k) + ")");
+      }
+    }
+  }
+  return names;
+}
+
+std::vector<double> Engine::breakpoints(double t_stop) const {
+  std::vector<double> points;
+  for (const auto& dev : circuit_.devices()) {
+    dev->collect_breakpoints(t_stop, points);
+  }
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end(),
+                           [](double a, double b) {
+                             return std::fabs(a - b) < 1e-18;
+                           }),
+               points.end());
+  // Keep only breakpoints strictly inside (0, t_stop).
+  std::vector<double> inside;
+  for (double p : points) {
+    if (p > 1e-18 && p < t_stop - 1e-18) inside.push_back(p);
+  }
+  return inside;
+}
+
+AcResult Engine::ac(const std::vector<double>& frequencies_hz,
+                    const NewtonOptions& options) {
+  circuit_.finalize();
+  AcResult result;
+  result.op = dc_operating_point(options);
+  if (!result.op.converged) return result;
+
+  SimContext ctx;
+  ctx.mode = AnalysisMode::kDcOperatingPoint;  // linearization context
+  ctx.temperature_c = temperature_c_;
+  ctx.num_nodes = circuit_.num_nodes();
+
+  const std::size_t size = circuit_.system_size();
+  ComplexMatrix a(size, size);
+  std::vector<std::complex<double>> b(size);
+  result.set_signal_names(signal_names());
+
+  for (double f : frequencies_hz) {
+    const double omega = 2.0 * M_PI * f;
+    a.set_zero();
+    std::fill(b.begin(), b.end(), std::complex<double>{0.0, 0.0});
+    AcStamper stamper(a, b, result.op.x, circuit_.num_nodes(), omega);
+    for (const auto& dev : circuit_.devices()) {
+      dev->stamp_ac(ctx, stamper);
+    }
+    for (std::size_t n = 0; n < circuit_.num_nodes(); ++n) {
+      a.at(n, n) += options.gmin_final;
+    }
+    std::vector<std::complex<double>> x = b;
+    if (!lu_solve(a, x)) {
+      result.converged = false;
+      return result;
+    }
+    result.append_point(f, x);
+  }
+  result.converged = true;
+  return result;
+}
+
+/// Logarithmic frequency grid helper for AC sweeps.
+std::vector<double> log_frequency_grid(double f_start, double f_stop,
+                                       int points_per_decade) {
+  std::vector<double> freqs;
+  const double decades = std::log10(f_stop / f_start);
+  const int total =
+      std::max(2, static_cast<int>(decades * points_per_decade) + 1);
+  for (int i = 0; i < total; ++i) {
+    freqs.push_back(f_start *
+                    std::pow(10.0, decades * i / (total - 1)));
+  }
+  return freqs;
+}
+
+TransientResult Engine::transient(double t_stop,
+                                  const TransientOptions& options) {
+  circuit_.finalize();
+  TransientResult result;
+
+  // Initial condition: DC operating point with sources at t = 0.
+  DcResult dc = dc_operating_point(options.newton);
+  result.total_newton_iterations += dc.iterations;
+  if (!dc.converged) {
+    result.converged = false;
+    return result;
+  }
+  std::vector<double> x = dc.x;
+
+  SimContext ctx;
+  ctx.mode = AnalysisMode::kTransient;
+  ctx.method = options.method;
+  ctx.temperature_c = temperature_c_;
+  ctx.gmin = options.newton.gmin_final;
+  ctx.time = 0.0;
+  ctx.dt = 0.0;
+  ctx.num_nodes = circuit_.num_nodes();
+
+  for (const auto& dev : circuit_.devices()) {
+    dev->start_transient(ctx, x);
+  }
+
+  result.set_signal_names(signal_names());
+  if (options.record_waveforms) result.append_sample(0.0, x);
+
+  const std::vector<double> bps = breakpoints(t_stop);
+  std::size_t next_bp = 0;
+
+  // Running per-source power for trapezoidal energy integration.
+  std::vector<double> prev_power(circuit_.devices().size(), 0.0);
+  {
+    std::size_t di = 0;
+    for (const auto& dev : circuit_.devices()) {
+      prev_power[di++] = dev->delivered_power(ctx, x);
+    }
+  }
+  std::vector<double> energy(circuit_.devices().size(), 0.0);
+
+  double t = 0.0;
+  bool just_crossed_breakpoint = true;  // first step uses BE for robustness
+  // Adaptive stepping state: the current nominal step size.
+  double dt_nominal = options.dt;
+  const double dt_max =
+      options.dt_max > 0.0 ? options.dt_max : 16.0 * options.dt;
+  while (t < t_stop - 1e-18) {
+    // Choose the step: nominal dt, clipped to the next breakpoint / stop.
+    double dt = dt_nominal;
+    double target = t + dt;
+    bool hits_bp = false;
+    if (next_bp < bps.size() && bps[next_bp] <= target + 1e-18) {
+      target = bps[next_bp];
+      hits_bp = true;
+    }
+    if (target > t_stop) {
+      target = t_stop;
+      hits_bp = false;
+    }
+    dt = target - t;
+    if (dt <= 0.0) {  // breakpoint coincides with current time
+      ++next_bp;
+      continue;
+    }
+
+    // Solve the step, halving on Newton failure.
+    bool solved = false;
+    std::vector<double> x_try;
+    int retries = 0;
+    double step = dt;
+    int last_iters = 0;
+    while (retries <= options.max_step_retries) {
+      ctx.time = t + step;
+      ctx.dt = step;
+      ctx.method = just_crossed_breakpoint ? IntegrationMethod::kBackwardEuler
+                                           : options.method;
+      x_try = x;
+      int iters = 0;
+      if (newton_solve(ctx, x_try, options.newton, &iters)) {
+        result.total_newton_iterations += iters;
+        last_iters = iters;
+        solved = true;
+        break;
+      }
+      result.total_newton_iterations += iters;
+      step *= 0.5;
+      ++retries;
+    }
+    if (!solved) {
+      result.converged = false;
+      return result;
+    }
+
+    if (options.adaptive) {
+      // Iteration-count step control: easy steps grow the nominal step,
+      // hard-fought ones shrink it. Failure halving (above) already
+      // handled outright rejections.
+      if (retries > 0 || last_iters > options.shrink_above_iterations) {
+        dt_nominal = std::max(options.dt * 1e-3,
+                              dt_nominal * options.shrink_factor);
+      } else if (last_iters < options.grow_below_iterations) {
+        dt_nominal = std::min(dt_max, dt_nominal * options.grow_factor);
+      }
+    }
+
+    x = x_try;
+    for (const auto& dev : circuit_.devices()) {
+      dev->accept_step(ctx, x);
+    }
+
+    // Energy bookkeeping (trapezoidal in time).
+    {
+      std::size_t di = 0;
+      for (const auto& dev : circuit_.devices()) {
+        const double p = dev->delivered_power(ctx, x);
+        energy[di] += 0.5 * (p + prev_power[di]) * ctx.dt;
+        prev_power[di] = p;
+        ++di;
+      }
+    }
+
+    t = ctx.time;
+    just_crossed_breakpoint = false;
+    if (hits_bp && std::fabs(t - bps[next_bp]) < 1e-18) {
+      ++next_bp;
+      just_crossed_breakpoint = true;
+    }
+    if (options.record_waveforms) result.append_sample(t, x);
+  }
+
+  {
+    std::size_t di = 0;
+    for (const auto& dev : circuit_.devices()) {
+      if (energy[di] != 0.0) result.source_energy[dev->name()] = energy[di];
+      ++di;
+    }
+  }
+  if (!options.record_waveforms) {
+    result.set_signal_names(signal_names());
+    result.append_sample(t, x);
+  }
+  result.converged = true;
+  return result;
+}
+
+}  // namespace sfc::spice

@@ -1,0 +1,126 @@
+#include "spice/matrix.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace sfc::spice {
+
+DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+void DenseMatrix::set_zero() {
+  for (double& v : data_) v = 0.0;
+}
+
+double DenseMatrix::frobenius_norm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+bool lu_solve(DenseMatrix& a, std::vector<double>& b) {
+  const std::size_t n = a.rows();
+  assert(a.cols() == n);
+  assert(b.size() == n);
+  if (n == 0) return true;
+
+  // LU with partial pivoting, factorization stored in place.
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Pivot search in column k.
+    std::size_t pivot_row = k;
+    double pivot_mag = std::fabs(a.at(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double mag = std::fabs(a.at(r, k));
+      if (mag > pivot_mag) {
+        pivot_mag = mag;
+        pivot_row = r;
+      }
+    }
+    if (pivot_mag < 1e-300) return false;
+    if (pivot_row != k) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(a.at(k, c), a.at(pivot_row, c));
+      }
+      std::swap(b[k], b[pivot_row]);
+    }
+    const double pivot = a.at(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double factor = a.at(r, k) / pivot;
+      if (factor == 0.0) continue;
+      a.at(r, k) = 0.0;
+      for (std::size_t c = k + 1; c < n; ++c) {
+        a.at(r, c) -= factor * a.at(k, c);
+      }
+      b[r] -= factor * b[k];
+    }
+  }
+
+  // Back substitution.
+  for (std::size_t ri = n; ri-- > 0;) {
+    double sum = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) sum -= a.at(ri, c) * b[c];
+    b[ri] = sum / a.at(ri, ri);
+  }
+  return true;
+}
+
+bool lu_solve_copy(const DenseMatrix& a, const std::vector<double>& b,
+                   std::vector<double>& x) {
+  DenseMatrix acopy = a;
+  x = b;
+  return lu_solve(acopy, x);
+}
+
+ComplexMatrix::ComplexMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, Scalar{0.0, 0.0}) {}
+
+void ComplexMatrix::set_zero() {
+  for (auto& v : data_) v = Scalar{0.0, 0.0};
+}
+
+bool lu_solve(ComplexMatrix& a, std::vector<std::complex<double>>& b) {
+  const std::size_t n = a.rows();
+  assert(a.cols() == n);
+  assert(b.size() == n);
+  if (n == 0) return true;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t pivot_row = k;
+    double pivot_mag = std::abs(a.at(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double mag = std::abs(a.at(r, k));
+      if (mag > pivot_mag) {
+        pivot_mag = mag;
+        pivot_row = r;
+      }
+    }
+    if (pivot_mag < 1e-300) return false;
+    if (pivot_row != k) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(a.at(k, c), a.at(pivot_row, c));
+      }
+      std::swap(b[k], b[pivot_row]);
+    }
+    const auto pivot = a.at(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const auto factor = a.at(r, k) / pivot;
+      if (factor == std::complex<double>{0.0, 0.0}) continue;
+      a.at(r, k) = {0.0, 0.0};
+      for (std::size_t c = k + 1; c < n; ++c) {
+        a.at(r, c) -= factor * a.at(k, c);
+      }
+      b[r] -= factor * b[k];
+    }
+  }
+  for (std::size_t ri = n; ri-- > 0;) {
+    auto sum = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) sum -= a.at(ri, c) * b[c];
+    b[ri] = sum / a.at(ri, ri);
+  }
+  return true;
+}
+
+}  // namespace sfc::spice

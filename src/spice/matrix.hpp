@@ -1,0 +1,69 @@
+// Dense linear algebra for the MNA system. CiM cell/array circuits have
+// tens of nodes, so a dense LU with partial pivoting is both simpler and
+// faster than a sparse solver at this scale.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace sfc::spice {
+
+/// Row-major dense matrix of doubles.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(std::size_t rows, std::size_t cols);
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  void set_zero();
+
+  /// Frobenius norm, used in conditioning diagnostics.
+  double frobenius_norm() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solve A x = b in place (A and b are overwritten). Returns false when the
+/// matrix is numerically singular (pivot below tiny threshold).
+bool lu_solve(DenseMatrix& a, std::vector<double>& b);
+
+/// Solve keeping A/b intact; x receives the solution.
+bool lu_solve_copy(const DenseMatrix& a, const std::vector<double>& b,
+                   std::vector<double>& x);
+
+/// Row-major dense complex matrix (AC small-signal analysis).
+class ComplexMatrix {
+ public:
+  using Scalar = std::complex<double>;
+
+  ComplexMatrix() = default;
+  ComplexMatrix(std::size_t rows, std::size_t cols);
+
+  Scalar& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  const Scalar& at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  void set_zero();
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<Scalar> data_;
+};
+
+/// Complex LU with partial pivoting; A and b are overwritten.
+bool lu_solve(ComplexMatrix& a, std::vector<std::complex<double>>& b);
+
+}  // namespace sfc::spice

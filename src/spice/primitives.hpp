@@ -1,0 +1,201 @@
+// Linear/primitive circuit elements: resistor, capacitor, inductor,
+// independent sources, and a smooth voltage-controlled switch (the EN
+// switch in the CiM sensing circuit).
+#pragma once
+
+#include "spice/device.hpp"
+#include "spice/waveform.hpp"
+
+namespace sfc::spice {
+
+class Resistor final : public Device {
+ public:
+  Resistor(std::string name, NodeId a, NodeId b, double ohms);
+
+  void stamp(const SimContext& ctx, Stamper& s) override;
+  void stamp_ac(const SimContext& ctx, AcStamper& s) override;
+  std::vector<NodeId> terminals() const override { return {a_, b_}; }
+
+  double resistance() const { return ohms_; }
+  void set_resistance(double ohms);
+
+ private:
+  NodeId a_, b_;
+  double ohms_;
+};
+
+class Capacitor final : public Device {
+ public:
+  /// `ic_volts`: optional initial voltage (a -> b) forced at transient
+  /// start; NaN (default) takes the DC operating point value.
+  Capacitor(std::string name, NodeId a, NodeId b, double farads,
+            double ic_volts = kNoIc);
+
+  static constexpr double kNoIc = -1e30;
+
+  void stamp(const SimContext& ctx, Stamper& s) override;
+  void stamp_ac(const SimContext& ctx, AcStamper& s) override;
+  void start_transient(const SimContext& ctx,
+                       const std::vector<double>& x) override;
+  void accept_step(const SimContext& ctx,
+                   const std::vector<double>& x) override;
+  std::vector<NodeId> terminals() const override { return {a_, b_}; }
+
+  double capacitance() const { return farads_; }
+  /// Voltage across the capacitor at the last accepted step.
+  double voltage() const { return v_prev_; }
+  /// Stored energy 0.5*C*V^2 at the last accepted step [J].
+  double stored_energy() const { return 0.5 * farads_ * v_prev_ * v_prev_; }
+
+ private:
+  double vdiff_x(const std::vector<double>& x) const;
+
+  NodeId a_, b_;
+  double farads_;
+  double ic_;
+  double v_prev_ = 0.0;
+  double i_prev_ = 0.0;
+};
+
+class Inductor final : public Device {
+ public:
+  Inductor(std::string name, NodeId a, NodeId b, double henries);
+
+  int num_aux() const override { return 1; }
+  void stamp(const SimContext& ctx, Stamper& s) override;
+  void stamp_ac(const SimContext& ctx, AcStamper& s) override;
+  void start_transient(const SimContext& ctx,
+                       const std::vector<double>& x) override;
+  void accept_step(const SimContext& ctx,
+                   const std::vector<double>& x) override;
+  std::vector<NodeId> terminals() const override { return {a_, b_}; }
+
+ private:
+  NodeId a_, b_;
+  double henries_;
+  double i_prev_ = 0.0;
+  double v_prev_ = 0.0;
+};
+
+/// Independent voltage source (one auxiliary branch-current variable).
+class VSource final : public Device {
+ public:
+  VSource(std::string name, NodeId plus, NodeId minus, Waveform waveform);
+  VSource(std::string name, NodeId plus, NodeId minus, double dc_volts);
+
+  int num_aux() const override { return 1; }
+  void stamp(const SimContext& ctx, Stamper& s) override;
+  void stamp_ac(const SimContext& ctx, AcStamper& s) override;
+  double delivered_power(const SimContext& ctx,
+                         const std::vector<double>& x) const override;
+  void collect_breakpoints(double t_stop,
+                           std::vector<double>& out) const override;
+  std::vector<NodeId> terminals() const override { return {plus_, minus_}; }
+
+  void set_waveform(Waveform w) { waveform_ = std::move(w); }
+  const Waveform& waveform() const { return waveform_; }
+  /// Convenience for DC sweeps.
+  void set_dc(double volts) { waveform_ = Waveform::dc(volts); }
+
+  /// AC analysis stimulus magnitude [V] (0 = quiet source). The phase is
+  /// zero; use one excited source per transfer-function measurement.
+  void set_ac_magnitude(double volts) { ac_magnitude_ = volts; }
+  double ac_magnitude() const { return ac_magnitude_; }
+
+  /// Branch current (from + through the source to -) given a solution.
+  double branch_current(std::size_t num_nodes,
+                        const std::vector<double>& x) const;
+
+ private:
+  NodeId plus_, minus_;
+  Waveform waveform_;
+  double ac_magnitude_ = 0.0;
+};
+
+/// Independent current source driving current from `from`, through the
+/// source, into `to`.
+class ISource final : public Device {
+ public:
+  ISource(std::string name, NodeId from, NodeId to, Waveform waveform);
+  ISource(std::string name, NodeId from, NodeId to, double dc_amps);
+
+  void stamp(const SimContext& ctx, Stamper& s) override;
+  double delivered_power(const SimContext& ctx,
+                         const std::vector<double>& x) const override;
+  void collect_breakpoints(double t_stop,
+                           std::vector<double>& out) const override;
+  std::vector<NodeId> terminals() const override { return {from_, to_}; }
+
+  void set_dc(double amps) { waveform_ = Waveform::dc(amps); }
+
+ private:
+  NodeId from_, to_;
+  Waveform waveform_;
+};
+
+/// Smooth voltage-controlled switch: conductance interpolates between
+/// off/on over a narrow logistic transition of the control voltage,
+/// keeping the Newton iteration differentiable.
+class VSwitch final : public Device {
+ public:
+  struct Params {
+    double r_on = 100.0;        ///< on resistance [ohm]
+    double r_off = 1e12;        ///< off resistance [ohm]
+    double v_threshold = 0.6;   ///< control voltage at half transition [V]
+    double v_width = 0.05;      ///< logistic transition width [V]
+  };
+
+  VSwitch(std::string name, NodeId a, NodeId b, NodeId ctrl, Params params);
+
+  void stamp(const SimContext& ctx, Stamper& s) override;
+  void stamp_ac(const SimContext& ctx, AcStamper& s) override;
+  std::vector<NodeId> terminals() const override { return {a_, b_, ctrl_}; }
+
+  /// Conductance at a given control voltage (exposed for tests).
+  double conductance_at(double v_ctrl) const;
+
+ private:
+  NodeId a_, b_, ctrl_;
+  Params p_;
+};
+
+/// Linear voltage-controlled current source (SPICE G element):
+/// i(out+ -> out-) = gm * (v(ctrl+) - v(ctrl-)).
+class Vccs final : public Device {
+ public:
+  Vccs(std::string name, NodeId out_p, NodeId out_n, NodeId ctrl_p,
+       NodeId ctrl_n, double gm);
+
+  void stamp(const SimContext& ctx, Stamper& s) override;
+  void stamp_ac(const SimContext& ctx, AcStamper& s) override;
+  std::vector<NodeId> terminals() const override {
+    return {out_p_, out_n_, ctrl_p_, ctrl_n_};
+  }
+
+  double transconductance() const { return gm_; }
+
+ private:
+  NodeId out_p_, out_n_, ctrl_p_, ctrl_n_;
+  double gm_;
+};
+
+/// Linear voltage-controlled voltage source (ideal amplifier building
+/// block): v(out+) - v(out-) = gain * (v(ctrl+) - v(ctrl-)).
+class Vcvs final : public Device {
+ public:
+  Vcvs(std::string name, NodeId out_p, NodeId out_n, NodeId ctrl_p,
+       NodeId ctrl_n, double gain);
+
+  int num_aux() const override { return 1; }
+  void stamp(const SimContext& ctx, Stamper& s) override;
+  void stamp_ac(const SimContext& ctx, AcStamper& s) override;
+  std::vector<NodeId> terminals() const override {
+    return {out_p_, out_n_, ctrl_p_, ctrl_n_};
+  }
+
+ private:
+  NodeId out_p_, out_n_, ctrl_p_, ctrl_n_;
+  double gain_;
+};
+
+}  // namespace sfc::spice

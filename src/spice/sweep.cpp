@@ -1,0 +1,75 @@
+#include "spice/sweep.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace sfc::spice {
+
+std::vector<double> linspace_step(double lo, double hi, double step) {
+  assert(step > 0.0);
+  std::vector<double> values;
+  const auto count = static_cast<std::size_t>(std::floor((hi - lo) / step + 1e-9)) + 1;
+  values.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    values.push_back(lo + static_cast<double>(i) * step);
+  }
+  if (!values.empty() && std::fabs(values.back() - hi) > step * 1e-6) {
+    values.push_back(hi);
+  }
+  return values;
+}
+
+std::vector<double> linspace_count(double lo, double hi, std::size_t n) {
+  assert(n >= 2);
+  std::vector<double> values(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    values[i] = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(n - 1);
+  }
+  return values;
+}
+
+std::vector<SweepPoint> dc_sweep(Circuit& circuit,
+                                 const std::vector<double>& values,
+                                 const std::function<void(double)>& apply,
+                                 double temperature_c,
+                                 const NewtonOptions& options) {
+  Engine engine(circuit, temperature_c);
+  std::vector<SweepPoint> points;
+  points.reserve(values.size());
+  std::vector<double> warm;
+  for (double value : values) {
+    apply(value);
+    SweepPoint p;
+    p.value = value;
+    p.op = engine.dc_operating_point(options, warm.empty() ? nullptr : &warm);
+    if (p.op.converged) warm = p.op.x;
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+std::vector<SweepPoint> dc_sweep_vsource(Circuit& circuit, VSource& source,
+                                         double lo, double hi, double step,
+                                         double temperature_c,
+                                         const NewtonOptions& options) {
+  return dc_sweep(
+      circuit, linspace_step(lo, hi, step),
+      [&source](double v) { source.set_dc(v); }, temperature_c, options);
+}
+
+std::vector<SweepPoint> temperature_sweep(Circuit& circuit,
+                                          const std::vector<double>& temps_c,
+                                          const NewtonOptions& options) {
+  std::vector<SweepPoint> points;
+  points.reserve(temps_c.size());
+  for (double t : temps_c) {
+    Engine engine(circuit, t);
+    SweepPoint p;
+    p.value = t;
+    p.op = engine.dc_operating_point(options);
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+}  // namespace sfc::spice

@@ -1,0 +1,45 @@
+// DC sweep helpers with Newton continuation (each point warm-starts from
+// the previous solution), used for I-V characteristic extraction
+// (Fig. 1) and temperature sweeps.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "spice/engine.hpp"
+#include "spice/primitives.hpp"
+
+namespace sfc::spice {
+
+struct SweepPoint {
+  double value = 0.0;  ///< swept parameter value
+  DcResult op;         ///< operating point at that value
+};
+
+/// Sweep the DC level of a voltage source from `lo` to `hi` inclusive in
+/// increments of `step` (the source's waveform is replaced). Points that
+/// fail to converge are still returned with op.converged = false.
+std::vector<SweepPoint> dc_sweep_vsource(Circuit& circuit, VSource& source,
+                                         double lo, double hi, double step,
+                                         double temperature_c,
+                                         const NewtonOptions& options = {});
+
+/// Generic sweep: `apply(value)` mutates the circuit before each solve.
+std::vector<SweepPoint> dc_sweep(Circuit& circuit,
+                                 const std::vector<double>& values,
+                                 const std::function<void(double)>& apply,
+                                 double temperature_c,
+                                 const NewtonOptions& options = {});
+
+/// Temperature sweep of a fixed circuit (no continuation across points —
+/// device nonlinearity changes with T, so a fresh solve is safer).
+std::vector<SweepPoint> temperature_sweep(Circuit& circuit,
+                                          const std::vector<double>& temps_c,
+                                          const NewtonOptions& options = {});
+
+/// Inclusive linear grid helper: lo, lo+step, ..., hi.
+std::vector<double> linspace_step(double lo, double hi, double step);
+/// Inclusive n-point grid.
+std::vector<double> linspace_count(double lo, double hi, std::size_t n);
+
+}  // namespace sfc::spice

@@ -1,0 +1,50 @@
+#include "util/csv.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <stdexcept>
+
+namespace sfc::util {
+
+std::string csv_escape(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : path_(path), columns_(header.size()), out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  row_text(header);
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  assert(values.size() == columns_);
+  char buf[64];
+  std::string line;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) line += ',';
+    std::snprintf(buf, sizeof(buf), "%.9g", values[i]);
+    line += buf;
+  }
+  out_ << line << '\n';
+}
+
+void CsvWriter::row_text(const std::vector<std::string>& cells) {
+  assert(cells.size() == columns_);
+  std::string line;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) line += ',';
+    line += csv_escape(cells[i]);
+  }
+  out_ << line << '\n';
+}
+
+}  // namespace sfc::util

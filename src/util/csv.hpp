@@ -1,0 +1,35 @@
+// Minimal CSV writer. Experiment harnesses dump their raw series next to
+// the pretty-printed tables so results can be re-plotted offline.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace sfc::util {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// Throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  /// Append one row; must match the header width.
+  void row(const std::vector<double>& values);
+
+  /// Append a mixed row of preformatted cells.
+  void row_text(const std::vector<std::string>& cells);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::size_t columns_;
+  std::ofstream out_;
+};
+
+/// Quote a cell if it contains separators/quotes (RFC-4180 style).
+std::string csv_escape(const std::string& cell);
+
+}  // namespace sfc::util

@@ -1,0 +1,63 @@
+#include "util/interp.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sfc::util {
+
+double lerp(double x, double x0, double y0, double x1, double y1) {
+  if (x1 == x0) return 0.5 * (y0 + y1);
+  const double t = (x - x0) / (x1 - x0);
+  return y0 + t * (y1 - y0);
+}
+
+PiecewiseLinear::PiecewiseLinear(std::vector<std::pair<double, double>> points)
+    : points_(std::move(points)) {
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    assert(points_[i - 1].first < points_[i].first);
+  }
+}
+
+void PiecewiseLinear::add_point(double x, double y) {
+  assert(points_.empty() || points_.back().first < x);
+  points_.emplace_back(x, y);
+}
+
+double PiecewiseLinear::operator()(double x) const {
+  assert(!points_.empty());
+  if (x <= points_.front().first) return points_.front().second;
+  if (x >= points_.back().first) return points_.back().second;
+  // Binary search for the segment containing x.
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), x,
+      [](double value, const auto& p) { return value < p.first; });
+  const auto& hi = *it;
+  const auto& lo = *(it - 1);
+  return lerp(x, lo.first, lo.second, hi.first, hi.second);
+}
+
+double PiecewiseLinear::min_x() const {
+  assert(!points_.empty());
+  return points_.front().first;
+}
+
+double PiecewiseLinear::max_x() const {
+  assert(!points_.empty());
+  return points_.back().first;
+}
+
+double PiecewiseLinear::inverse(double y) const {
+  assert(!points_.empty());
+  if (y <= points_.front().second) return points_.front().first;
+  if (y >= points_.back().second) return points_.back().first;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    assert(points_[i].second >= points_[i - 1].second && "inverse() needs nondecreasing y");
+    if (y <= points_[i].second) {
+      return lerp(y, points_[i - 1].second, points_[i - 1].first,
+                  points_[i].second, points_[i].first);
+    }
+  }
+  return points_.back().first;
+}
+
+}  // namespace sfc::util

@@ -1,0 +1,40 @@
+// Piecewise-linear function, used by the waveform sources (PWL stimulus)
+// and by the calibrated behavioural array model (voltage level tables).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace sfc::util {
+
+/// y = f(x) given as sorted breakpoints; linear between points, clamped
+/// (constant extrapolation) outside the covered x-range.
+class PiecewiseLinear {
+ public:
+  PiecewiseLinear() = default;
+
+  /// Points must be strictly increasing in x (asserted).
+  explicit PiecewiseLinear(std::vector<std::pair<double, double>> points);
+
+  void add_point(double x, double y);
+
+  double operator()(double x) const;
+
+  bool empty() const { return points_.empty(); }
+  std::size_t size() const { return points_.size(); }
+  double min_x() const;
+  double max_x() const;
+
+  /// Inverse lookup on a monotonically increasing function: find x such
+  /// that f(x) = y (clamped to the domain). Asserts monotonicity in debug.
+  double inverse(double y) const;
+
+ private:
+  std::vector<std::pair<double, double>> points_;
+};
+
+/// Scalar helper: linear interpolation of y between (x0,y0)-(x1,y1).
+double lerp(double x, double x0, double y0, double x1, double y1);
+
+}  // namespace sfc::util

@@ -1,0 +1,91 @@
+#include "util/plot.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace sfc::util {
+
+AsciiPlot::AsciiPlot(std::size_t width, std::size_t height)
+    : width_(std::max<std::size_t>(width, 8)),
+      height_(std::max<std::size_t>(height, 4)) {}
+
+void AsciiPlot::add_series(const std::string& name, std::span<const double> x,
+                           std::span<const double> y, char glyph) {
+  assert(x.size() == y.size());
+  Series s;
+  s.name = name;
+  s.x.assign(x.begin(), x.end());
+  s.y.assign(y.begin(), y.end());
+  s.glyph = glyph;
+  series_.push_back(std::move(s));
+}
+
+std::string AsciiPlot::render() const {
+  if (series_.empty()) return "(empty plot)\n";
+
+  double x_lo = std::numeric_limits<double>::infinity(), x_hi = -x_lo;
+  double y_lo = x_lo, y_hi = -x_lo;
+  for (const auto& s : series_) {
+    for (double v : s.x) {
+      x_lo = std::min(x_lo, v);
+      x_hi = std::max(x_hi, v);
+    }
+    for (double v : s.y) {
+      y_lo = std::min(y_lo, v);
+      y_hi = std::max(y_hi, v);
+    }
+  }
+  if (x_hi == x_lo) x_hi = x_lo + 1.0;
+  if (y_hi == y_lo) y_hi = y_lo + 1.0;
+  // A touch of head-room so extremes do not sit on the frame.
+  const double y_pad = 0.05 * (y_hi - y_lo);
+  y_lo -= y_pad;
+  y_hi += y_pad;
+
+  std::vector<std::string> grid(height_, std::string(width_, ' '));
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      const double tx = (s.x[i] - x_lo) / (x_hi - x_lo);
+      const double ty = (s.y[i] - y_lo) / (y_hi - y_lo);
+      auto cx = static_cast<std::size_t>(tx * static_cast<double>(width_ - 1) + 0.5);
+      auto cy = static_cast<std::size_t>(ty * static_cast<double>(height_ - 1) + 0.5);
+      cx = std::min(cx, width_ - 1);
+      cy = std::min(cy, height_ - 1);
+      grid[height_ - 1 - cy][cx] = s.glyph;
+    }
+  }
+
+  char buf[64];
+  std::string out;
+  for (std::size_t row = 0; row < height_; ++row) {
+    if (row == 0) {
+      std::snprintf(buf, sizeof(buf), "%10.3g |", y_hi);
+    } else if (row == height_ - 1) {
+      std::snprintf(buf, sizeof(buf), "%10.3g |", y_lo);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%10s |", "");
+    }
+    out += buf;
+    out += grid[row];
+    out += '\n';
+  }
+  out += std::string(11, ' ') + '+' + std::string(width_, '-') + '\n';
+  std::snprintf(buf, sizeof(buf), "%10s  %-10.3g", "", x_lo);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "%*.3g\n",
+                static_cast<int>(width_) - 10, x_hi);
+  out += buf;
+  out += "  legend:";
+  for (const auto& s : series_) {
+    out += "  ";
+    out += s.glyph;
+    out += "=" + s.name;
+  }
+  out += '\n';
+  return out;
+}
+
+}  // namespace sfc::util

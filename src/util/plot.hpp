@@ -1,0 +1,33 @@
+// Minimal ASCII line/scatter plot for terminal output of waveforms and
+// sweeps (benches and examples; CSVs carry the precise data).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sfc::util {
+
+class AsciiPlot {
+ public:
+  AsciiPlot(std::size_t width = 64, std::size_t height = 16);
+
+  /// Add a named series; x and y must be equal length. The glyph labels
+  /// the series in the plot and the legend.
+  void add_series(const std::string& name, std::span<const double> x,
+                  std::span<const double> y, char glyph);
+
+  /// Render the plot with axes and a legend.
+  std::string render() const;
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<double> x, y;
+    char glyph;
+  };
+  std::size_t width_, height_;
+  std::vector<Series> series_;
+};
+
+}  // namespace sfc::util

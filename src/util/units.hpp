@@ -1,0 +1,66 @@
+// Physical constants and unit helpers used across the device and circuit
+// models. Everything internal is SI (volts, amperes, seconds, farads,
+// kelvin); these helpers exist so that code reads in the units the paper
+// uses (nanoseconds, femtojoules, millivolts, degrees Celsius).
+#pragma once
+
+namespace sfc::util {
+
+/// Boltzmann constant [J/K].
+inline constexpr double kBoltzmann = 1.380649e-23;
+/// Elementary charge [C].
+inline constexpr double kElementaryCharge = 1.602176634e-19;
+/// 0 degC expressed in kelvin.
+inline constexpr double kZeroCelsiusInKelvin = 273.15;
+/// Reference (room) temperature used throughout the paper: 27 degC.
+inline constexpr double kRoomTemperatureCelsius = 27.0;
+
+/// Thermal voltage kT/q [V] at absolute temperature `kelvin`.
+constexpr double thermal_voltage(double kelvin) {
+  return kBoltzmann * kelvin / kElementaryCharge;
+}
+
+constexpr double celsius_to_kelvin(double celsius) {
+  return celsius + kZeroCelsiusInKelvin;
+}
+
+constexpr double kelvin_to_celsius(double kelvin) {
+  return kelvin - kZeroCelsiusInKelvin;
+}
+
+// Scaling helpers: value-in-unit -> SI.
+constexpr double from_milli(double v) { return v * 1e-3; }
+constexpr double from_micro(double v) { return v * 1e-6; }
+constexpr double from_nano(double v) { return v * 1e-9; }
+constexpr double from_pico(double v) { return v * 1e-12; }
+constexpr double from_femto(double v) { return v * 1e-15; }
+constexpr double from_atto(double v) { return v * 1e-18; }
+
+// SI -> value-in-unit (for reporting).
+constexpr double to_milli(double v) { return v * 1e3; }
+constexpr double to_micro(double v) { return v * 1e6; }
+constexpr double to_nano(double v) { return v * 1e9; }
+constexpr double to_pico(double v) { return v * 1e12; }
+constexpr double to_femto(double v) { return v * 1e15; }
+
+namespace literals {
+// User-defined literals so circuit setup code reads like a datasheet:
+//   auto c = 5.0_fF;  auto t = 200.0_ns;  auto v = 350.0_mV;
+constexpr double operator""_mV(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_V(long double v) { return static_cast<double>(v); }
+constexpr double operator""_uA(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_nA(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_pA(long double v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_ns(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_us(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_ps(long double v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_fF(long double v) { return static_cast<double>(v) * 1e-15; }
+constexpr double operator""_pF(long double v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_fJ(long double v) { return static_cast<double>(v) * 1e-15; }
+constexpr double operator""_kOhm(long double v) { return static_cast<double>(v) * 1e3; }
+constexpr double operator""_MOhm(long double v) { return static_cast<double>(v) * 1e6; }
+constexpr double operator""_nm(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_um(long double v) { return static_cast<double>(v) * 1e-6; }
+}  // namespace literals
+
+}  // namespace sfc::util

@@ -1,0 +1,119 @@
+// SynthCIFAR dataset tests: determinism, split disjointness, value ranges,
+// class balance, and intra- vs inter-class structure.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synth_cifar.hpp"
+#include "util/stats.hpp"
+
+namespace sfc::data {
+namespace {
+
+SynthCifarConfig tiny() {
+  SynthCifarConfig cfg;
+  cfg.train_per_class = 8;
+  cfg.test_per_class = 4;
+  return cfg;
+}
+
+TEST(SynthCifar, ShapesAndRanges) {
+  const Dataset ds = make_synth_cifar_train(tiny());
+  ASSERT_EQ(ds.size(), 80u);
+  for (const auto& img : ds.images) {
+    ASSERT_EQ(img.pixels.size(),
+              static_cast<std::size_t>(3 * 32 * 32));
+    EXPECT_GE(img.label, 0);
+    EXPECT_LT(img.label, Dataset::kNumClasses);
+    for (float p : img.pixels) {
+      EXPECT_GE(p, 0.0f);
+      EXPECT_LE(p, 1.0f);
+    }
+  }
+}
+
+TEST(SynthCifar, DeterministicGeneration) {
+  const Dataset a = make_synth_cifar_train(tiny());
+  const Dataset b = make_synth_cifar_train(tiny());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.images[i].label, b.images[i].label);
+    EXPECT_EQ(a.images[i].pixels, b.images[i].pixels);
+  }
+}
+
+TEST(SynthCifar, TrainTestDiffer) {
+  const Dataset train = make_synth_cifar_train(tiny());
+  const Dataset test = make_synth_cifar_test(tiny());
+  EXPECT_EQ(test.size(), 40u);
+  // Same class, different streams: pixel data must differ.
+  bool any_equal = false;
+  for (std::size_t i = 0; i < std::min(train.size(), test.size()); ++i) {
+    if (train.images[i].pixels == test.images[i].pixels) any_equal = true;
+  }
+  EXPECT_FALSE(any_equal);
+}
+
+TEST(SynthCifar, ClassBalance) {
+  const Dataset ds = make_synth_cifar_train(tiny());
+  std::vector<int> counts(Dataset::kNumClasses, 0);
+  for (const auto& img : ds.images) ++counts[static_cast<std::size_t>(img.label)];
+  for (int c : counts) EXPECT_EQ(c, 8);
+}
+
+TEST(SynthCifar, ShuffledNotClassSorted) {
+  const Dataset ds = make_synth_cifar_train(tiny());
+  int transitions = 0;
+  for (std::size_t i = 1; i < ds.size(); ++i) {
+    if (ds.images[i].label != ds.images[i - 1].label) ++transitions;
+  }
+  // Class-sorted data would have exactly 9 transitions.
+  EXPECT_GT(transitions, 20);
+}
+
+TEST(SynthCifar, IntraClassMoreSimilarThanInterClass) {
+  // Average L2 distance between images of the same class must be smaller
+  // than between different classes - i.e. the task is learnable.
+  SynthCifarConfig cfg = tiny();
+  cfg.noise_sigma = 0.05;
+  util::Rng rng(3);
+  auto distance = [](const Image& a, const Image& b) {
+    double d = 0.0;
+    for (std::size_t i = 0; i < a.pixels.size(); ++i) {
+      const double diff = a.pixels[i] - b.pixels[i];
+      d += diff * diff;
+    }
+    return std::sqrt(d);
+  };
+  double intra = 0.0, inter = 0.0;
+  int n_intra = 0, n_inter = 0;
+  for (int c = 0; c < 4; ++c) {
+    const Image x1 = make_synth_image(c, rng, cfg);
+    const Image x2 = make_synth_image(c, rng, cfg);
+    intra += distance(x1, x2);
+    ++n_intra;
+    const Image y = make_synth_image((c + 5) % 10, rng, cfg);
+    inter += distance(x1, y);
+    ++n_inter;
+  }
+  EXPECT_LT(intra / n_intra, inter / n_inter);
+}
+
+TEST(SynthCifar, ClassNamesExist) {
+  for (int c = 0; c < Dataset::kNumClasses; ++c) {
+    EXPECT_NE(class_name(c), nullptr);
+    EXPECT_GT(std::string(class_name(c)).size(), 0u);
+  }
+}
+
+TEST(SynthCifar, SeedChangesData) {
+  SynthCifarConfig a = tiny();
+  SynthCifarConfig b = tiny();
+  b.seed = a.seed + 1;
+  const Dataset da = make_synth_cifar_train(a);
+  const Dataset db = make_synth_cifar_train(b);
+  EXPECT_NE(da.images[0].pixels, db.images[0].pixels);
+}
+
+}  // namespace
+}  // namespace sfc::data

@@ -1,0 +1,144 @@
+// FeFET device tests: stored state vs read current (ION/IOFF), operating
+// regions at the two read voltages of the paper, temperature behaviour,
+// and Monte Carlo VTH-shift injection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fefet/fefet.hpp"
+#include "spice/engine.hpp"
+#include "spice/primitives.hpp"
+
+namespace sfc::fefet {
+namespace {
+
+using sfc::spice::Circuit;
+using sfc::spice::Engine;
+using sfc::spice::kGround;
+using sfc::spice::Resistor;
+using sfc::spice::VSource;
+
+/// Drain current with the output clamped to the SL level (transimpedance
+/// readout) at the given WL voltage.
+double read_current(FeFet& fefet, double v_wl, double temperature_c) {
+  return fefet.drain_current(v_wl, 1.2, 0.2, temperature_c) -
+         0.0;  // vs = SL = 0.2 V
+}
+
+TEST(FeFet, StoredBitControlsCurrent) {
+  Circuit ckt;
+  auto& fefet = ckt.add<FeFet>("X1", ckt.node("d"), ckt.node("g"),
+                               ckt.node("s"));
+  fefet.write_bit(true);
+  const double i_on = read_current(fefet, 0.35, 27.0);
+  fefet.write_bit(false);
+  const double i_off = read_current(fefet, 0.35, 27.0);
+  EXPECT_GT(i_on, 0.0);
+  // High ION/IOFF ratio is the FeFET selling point.
+  EXPECT_GT(i_on / std::max(i_off, 1e-30), 1e6);
+}
+
+TEST(FeFet, SubthresholdAtPaperReadVoltage) {
+  // At Vread = 0.35 V the low-VTH device must be in subthreshold:
+  // VGS - VTH < 0 at the operating source level (0.2 V).
+  Circuit ckt;
+  auto& fefet = ckt.add<FeFet>("X1", ckt.node("d"), ckt.node("g"),
+                               ckt.node("s"));
+  fefet.write_bit(true);
+  const double vgs = 0.35 - 0.2;
+  EXPECT_LT(vgs, fefet.effective_vth(27.0));
+}
+
+TEST(FeFet, SaturationAtHighReadVoltage) {
+  Circuit ckt;
+  auto& fefet = ckt.add<FeFet>("X1", ckt.node("d"), ckt.node("g"),
+                               ckt.node("s"));
+  fefet.write_bit(true);
+  const double vgs = 1.3 - 0.2;
+  EXPECT_GT(vgs, fefet.effective_vth(27.0) + 0.3);
+}
+
+TEST(FeFet, SubthresholdReadCurrentRisesWithTemperature) {
+  Circuit ckt;
+  auto& fefet = ckt.add<FeFet>("X1", ckt.node("d"), ckt.node("g"),
+                               ckt.node("s"));
+  fefet.write_bit(true);
+  const double i0 = read_current(fefet, 0.35, 0.0);
+  const double i85 = read_current(fefet, 0.35, 85.0);
+  EXPECT_GT(i85, i0);
+  EXPECT_GT(i85 / i0, 1.2);  // exponential region: strong drift
+}
+
+TEST(FeFet, SaturationReadCurrentDriftIsMilder) {
+  Circuit ckt;
+  auto& fefet = ckt.add<FeFet>("X1", ckt.node("d"), ckt.node("g"),
+                               ckt.node("s"));
+  fefet.write_bit(true);
+  auto drift = [&](double v_read) {
+    const double i0 = read_current(fefet, v_read, 0.0);
+    const double i85 = read_current(fefet, v_read, 85.0);
+    return std::fabs(i85 / i0 - 1.0);
+  };
+  EXPECT_LT(drift(1.3), drift(0.35));
+}
+
+TEST(FeFet, EffectiveVthTracksState) {
+  Circuit ckt;
+  auto& fefet = ckt.add<FeFet>("X1", ckt.node("d"), ckt.node("g"),
+                               ckt.node("s"));
+  fefet.write_bit(true);
+  const double vth_low = fefet.effective_vth(27.0);
+  fefet.write_bit(false);
+  const double vth_high = fefet.effective_vth(27.0);
+  EXPECT_GT(vth_high - vth_low, 1.0);  // memory window > 1 V
+  EXPECT_TRUE(!fefet.stored_bit());
+}
+
+TEST(FeFet, VthShiftInjectsVariation) {
+  Circuit ckt;
+  auto& fefet = ckt.add<FeFet>("X1", ckt.node("d"), ckt.node("g"),
+                               ckt.node("s"));
+  fefet.write_bit(true);
+  const double i_nominal = read_current(fefet, 0.35, 27.0);
+  fefet.set_vth_shift(0.054);
+  const double i_shifted = read_current(fefet, 0.35, 27.0);
+  EXPECT_LT(i_shifted, i_nominal);  // higher VTH, less current
+  fefet.set_vth_shift(0.0);
+  EXPECT_NEAR(read_current(fefet, 0.35, 27.0), i_nominal,
+              std::fabs(i_nominal) * 1e-12);
+}
+
+TEST(FeFet, InCircuitReadThroughResistor) {
+  // 1FeFET-1R-like stack: stored '1' must develop a much larger output
+  // voltage than stored '0'.
+  Circuit ckt;
+  const auto bl = ckt.node("bl");
+  const auto wl = ckt.node("wl");
+  const auto out = ckt.node("out");
+  ckt.add<VSource>("VBL", bl, kGround, 1.2);
+  ckt.add<VSource>("VWL", wl, kGround, 0.35);
+  auto& fefet = ckt.add<FeFet>("X1", bl, wl, out);
+  ckt.add<Resistor>("R1", out, kGround, 1e6);
+
+  fefet.write_bit(true);
+  Engine engine(ckt, 27.0);
+  const double v_on = engine.dc_operating_point().voltage("out");
+
+  fefet.write_bit(false);
+  const double v_off = engine.dc_operating_point().voltage("out");
+  EXPECT_GT(v_on, 10.0 * std::max(v_off, 1e-6));
+}
+
+TEST(FeFet, ProgramAtDifferentTemperatures) {
+  // Writes are specified at 27C; a hot write must still reach the state.
+  Circuit ckt;
+  auto& fefet = ckt.add<FeFet>("X1", ckt.node("d"), ckt.node("g"),
+                               ckt.node("s"));
+  fefet.write_bit(true, 85.0);
+  EXPECT_TRUE(fefet.stored_bit());
+  fefet.write_bit(false, 0.0);
+  EXPECT_FALSE(fefet.stored_bit());
+}
+
+}  // namespace
+}  // namespace sfc::fefet

@@ -1,0 +1,134 @@
+// NMR (Eqs. 2-3) and normalized-fluctuation metric tests, including
+// parameterized property sweeps over synthetic level layouts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cim/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace sfc::cim {
+namespace {
+
+std::vector<LevelRange> uniform_levels(int n, double spacing, double width) {
+  std::vector<LevelRange> levels;
+  for (int k = 0; k <= n; ++k) {
+    LevelRange r;
+    r.mac = k;
+    r.lo = k * spacing - width / 2;
+    r.hi = k * spacing + width / 2;
+    levels.push_back(r);
+  }
+  return levels;
+}
+
+TEST(Nmr, UniformLevelsMatchClosedForm) {
+  // spacing 10, width 2 -> gap = 8, NMR = 4 everywhere.
+  const auto levels = uniform_levels(8, 10.0, 2.0);
+  const auto nmr = noise_margin_rates(levels);
+  ASSERT_EQ(nmr.size(), 8u);
+  for (double v : nmr) EXPECT_NEAR(v, 4.0, 1e-9);
+  const auto s = summarize_nmr(levels);
+  EXPECT_NEAR(s.nmr_min, 4.0, 1e-9);
+  EXPECT_TRUE(s.separable);
+}
+
+TEST(Nmr, OverlapIsNegative) {
+  auto levels = uniform_levels(3, 10.0, 2.0);
+  levels[2].lo = levels[1].hi - 5.0;  // force overlap between 1 and 2
+  const auto s = summarize_nmr(levels);
+  EXPECT_LT(s.nmr_min, 0.0);
+  EXPECT_EQ(s.argmin_mac, 1);
+  EXPECT_FALSE(s.separable);
+}
+
+TEST(Nmr, TouchingLevelsAreZero) {
+  auto levels = uniform_levels(2, 10.0, 10.0);  // ranges touch exactly
+  const auto nmr = noise_margin_rates(levels);
+  for (double v : nmr) EXPECT_NEAR(v, 0.0, 1e-9);
+}
+
+TEST(Nmr, PaperExampleValue) {
+  // Reproduce the arithmetic of NMR_0 = 0.22: width w, gap 0.22*w.
+  std::vector<LevelRange> levels(2);
+  levels[0] = {0, 0.00, 0.10};
+  levels[1] = {1, 0.10 + 0.022, 0.20};
+  const auto nmr = noise_margin_rates(levels);
+  EXPECT_NEAR(nmr[0], 0.22, 1e-9);
+}
+
+TEST(Nmr, DegenerateZeroWidthStaysFinite) {
+  std::vector<LevelRange> levels(2);
+  levels[0] = {0, 0.05, 0.05};  // zero width
+  levels[1] = {1, 0.10, 0.12};
+  const auto nmr = noise_margin_rates(levels);
+  EXPECT_TRUE(std::isfinite(nmr[0]));
+  EXPECT_GT(nmr[0], 0.0);
+}
+
+TEST(Nmr, EmptyAndSingleLevel) {
+  EXPECT_TRUE(noise_margin_rates({}).empty());
+  std::vector<LevelRange> one(1);
+  one[0] = {0, 0.0, 1.0};
+  EXPECT_TRUE(noise_margin_rates(one).empty());
+  EXPECT_FALSE(summarize_nmr(one).separable);
+}
+
+TEST(Fluctuation, KnownSeries) {
+  const std::vector<double> temps = {0.0, 27.0, 85.0};
+  const std::vector<double> values = {0.8, 1.0, 1.4};
+  EXPECT_NEAR(max_normalized_fluctuation(temps, values, 27.0), 0.4, 1e-12);
+  const auto norm = normalize_to_reference(temps, values, 27.0);
+  EXPECT_NEAR(norm[0], 0.8, 1e-12);
+  EXPECT_NEAR(norm[2], 1.4, 1e-12);
+}
+
+TEST(Fluctuation, ReferenceMatchedToNearestGridPoint) {
+  const std::vector<double> temps = {0.0, 25.0, 85.0};
+  const std::vector<double> values = {1.0, 2.0, 3.0};
+  // 27C reference snaps to the 25C point (value 2).
+  EXPECT_NEAR(max_normalized_fluctuation(temps, values, 27.0), 0.5, 1e-12);
+}
+
+TEST(Fluctuation, FlatSeriesIsZero) {
+  const std::vector<double> temps = {0.0, 50.0, 85.0};
+  const std::vector<double> values = {2.5, 2.5, 2.5};
+  EXPECT_DOUBLE_EQ(max_normalized_fluctuation(temps, values, 27.0), 0.0);
+}
+
+// Property sweep: for random non-overlapping level layouts, NMR_min must
+// be positive; shrinking every gap to negative must flip the sign.
+class NmrProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(NmrProperty, SeparabilityDetection) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int n = 8;
+  std::vector<LevelRange> levels;
+  double cursor = 0.0;
+  for (int k = 0; k <= n; ++k) {
+    const double width = rng.uniform(0.01, 0.05);
+    const double gap = rng.uniform(0.01, 0.08);
+    LevelRange r;
+    r.mac = k;
+    r.lo = cursor;
+    r.hi = cursor + width;
+    cursor += width + gap;
+    levels.push_back(r);
+  }
+  const auto s = summarize_nmr(levels);
+  EXPECT_GT(s.nmr_min, 0.0);
+  EXPECT_TRUE(s.separable);
+
+  // Now inflate every range so neighbours overlap.
+  auto overlapped = levels;
+  for (auto& r : overlapped) {
+    r.lo -= 0.2;
+    r.hi += 0.2;
+  }
+  EXPECT_LT(summarize_nmr(overlapped).nmr_min, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NmrProperty, ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace sfc::cim

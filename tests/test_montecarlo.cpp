@@ -1,0 +1,106 @@
+// Monte Carlo process-variation tests (Fig. 9): determinism, error
+// scaling with sigma, cells-per-row dependence, and histogram sanity.
+#include <gtest/gtest.h>
+
+#include "cim/montecarlo.hpp"
+#include "util/histogram.hpp"
+
+namespace sfc::cim {
+namespace {
+
+MonteCarloConfig quick_mc(int runs, double sigma) {
+  MonteCarloConfig mc;
+  mc.runs = runs;
+  mc.sigma_vt_fefet = sigma;
+  mc.mac_values = {0, 4, 8};  // subset for test speed
+  return mc;
+}
+
+TEST(MonteCarlo, DeterministicForFixedSeed) {
+  const ArrayConfig cfg = ArrayConfig::proposed_2t1fefet();
+  const MonteCarloResult a = run_montecarlo(cfg, quick_mc(5, 0.054));
+  const MonteCarloResult b = run_montecarlo(cfg, quick_mc(5, 0.054));
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.samples[i].v_acc, b.samples[i].v_acc);
+  }
+}
+
+TEST(MonteCarlo, ZeroSigmaMeansZeroError) {
+  const ArrayConfig cfg = ArrayConfig::proposed_2t1fefet();
+  const MonteCarloResult r = run_montecarlo(cfg, quick_mc(3, 0.0));
+  ASSERT_TRUE(r.all_converged);
+  for (const auto& s : r.samples) {
+    EXPECT_NEAR(s.error_percent, 0.0, 1e-6);
+  }
+}
+
+TEST(MonteCarlo, ErrorGrowsWithSigma) {
+  const ArrayConfig cfg = ArrayConfig::proposed_2t1fefet();
+  const MonteCarloResult small = run_montecarlo(cfg, quick_mc(8, 0.020));
+  const MonteCarloResult large = run_montecarlo(cfg, quick_mc(8, 0.080));
+  EXPECT_GT(large.mean_error_percent, small.mean_error_percent);
+}
+
+TEST(MonteCarlo, PaperSigmaKeepsErrorsBounded) {
+  // Paper: max error ~25% of full scale at sigma = 54 mV, 100 runs. With a
+  // reduced run count the band is the same order.
+  const ArrayConfig cfg = ArrayConfig::proposed_2t1fefet();
+  const MonteCarloResult r = run_montecarlo(cfg, quick_mc(15, 0.054));
+  ASSERT_TRUE(r.all_converged);
+  EXPECT_GT(r.max_error_percent, 0.5);
+  EXPECT_LT(r.max_error_percent, 40.0);
+}
+
+TEST(MonteCarlo, FewerCellsPerRowReduceSpacingRelativeError) {
+  // Paper: error improves when reduced to 4 cells per row. The
+  // ADC-relevant normalization is deviation per level spacing (fewer
+  // cells aggregate less variation per level).
+  ArrayConfig cfg8 = ArrayConfig::proposed_2t1fefet();
+  ArrayConfig cfg4 = cfg8;
+  cfg4.cells_per_row = 4;
+  MonteCarloConfig mc = quick_mc(10, 0.054);
+  mc.mac_values.clear();  // all MACs for both
+  const MonteCarloResult r8 = run_montecarlo(cfg8, mc);
+  const MonteCarloResult r4 = run_montecarlo(cfg4, mc);
+  EXPECT_LT(r4.max_error_levels, r8.max_error_levels * 1.05);
+}
+
+TEST(MonteCarlo, NominalLevelsMonotone) {
+  const ArrayConfig cfg = ArrayConfig::proposed_2t1fefet();
+  const MonteCarloResult r = run_montecarlo(cfg, quick_mc(1, 0.054));
+  for (std::size_t k = 1; k < r.nominal_levels.size(); ++k) {
+    EXPECT_GT(r.nominal_levels[k], r.nominal_levels[k - 1]);
+  }
+  EXPECT_GT(r.level_spacing, 0.0);
+  EXPECT_NEAR(r.full_scale,
+              r.nominal_levels.back() - r.nominal_levels.front(), 1e-12);
+}
+
+TEST(MonteCarlo, ErrorsFeedHistogram) {
+  const ArrayConfig cfg = ArrayConfig::proposed_2t1fefet();
+  const MonteCarloResult r = run_montecarlo(cfg, quick_mc(6, 0.054));
+  const auto errors = r.errors();
+  ASSERT_FALSE(errors.empty());
+  util::Histogram h(0.0, 30.0, 10);
+  h.add_all(errors);
+  EXPECT_EQ(h.total(), errors.size());
+}
+
+TEST(MonteCarlo, SampleMetadataConsistent) {
+  const ArrayConfig cfg = ArrayConfig::proposed_2t1fefet();
+  MonteCarloConfig mc = quick_mc(4, 0.054);
+  const MonteCarloResult r = run_montecarlo(cfg, mc);
+  EXPECT_EQ(r.samples.size(),
+            static_cast<std::size_t>(mc.runs) * mc.mac_values.size());
+  for (const auto& s : r.samples) {
+    EXPECT_GE(s.run, 0);
+    EXPECT_LT(s.run, mc.runs);
+    EXPECT_TRUE(s.mac == 0 || s.mac == 4 || s.mac == 8);
+    EXPECT_NEAR(s.error_levels * r.level_spacing,
+                s.error_percent / 100.0 * r.full_scale, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace sfc::cim

@@ -1,0 +1,191 @@
+// EKV MOSFET model tests: subthreshold slope, saturation behaviour,
+// temperature physics, drain/source symmetry, analytic-vs-finite-difference
+// derivative consistency, and in-circuit bias points.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "devices/mosfet.hpp"
+#include "spice/engine.hpp"
+#include "spice/primitives.hpp"
+#include "util/units.hpp"
+
+namespace sfc::devices {
+namespace {
+
+using sfc::spice::Circuit;
+using sfc::spice::Engine;
+using sfc::spice::kGround;
+using sfc::spice::Resistor;
+using sfc::spice::VSource;
+
+MosfetParams nmos() { return MosfetParams::finfet14_nmos(8.0); }
+
+TEST(MosfetModel, CurrentIncreasesWithVgs) {
+  const MosfetParams p = nmos();
+  double prev = 0.0;
+  for (double vg = 0.0; vg <= 1.2; vg += 0.1) {
+    const double id = evaluate_mosfet(p, vg, 1.0, 0.0, 27.0).id;
+    EXPECT_GT(id, prev);
+    prev = id;
+  }
+}
+
+TEST(MosfetModel, SubthresholdSlopeMatchesTheory) {
+  // In deep subthreshold, I ~ exp(VGS/(n*VT)): one decade per
+  // n*VT*ln(10) volts of gate drive.
+  const MosfetParams p = nmos();
+  const double vt = sfc::util::thermal_voltage(sfc::util::celsius_to_kelvin(27.0));
+  const double expected_decade = p.n_factor * vt * std::log(10.0);
+
+  const double i1 = evaluate_mosfet(p, 0.10, 1.0, 0.0, 27.0).id;
+  const double i2 = evaluate_mosfet(p, 0.10 + expected_decade, 1.0, 0.0, 27.0).id;
+  EXPECT_NEAR(i2 / i1, 10.0, 0.5);
+}
+
+TEST(MosfetModel, ZeroVdsMeansZeroCurrent) {
+  const MosfetParams p = nmos();
+  EXPECT_NEAR(evaluate_mosfet(p, 0.8, 0.5, 0.5, 27.0).id, 0.0, 1e-18);
+}
+
+TEST(MosfetModel, DrainSourceAntisymmetry) {
+  const MosfetParams p = nmos();
+  const double fwd = evaluate_mosfet(p, 0.8, 0.6, 0.2, 27.0).id;
+  const double rev = evaluate_mosfet(p, 0.8, 0.2, 0.6, 27.0).id;
+  EXPECT_NEAR(fwd, -rev, std::fabs(fwd) * 1e-9);
+}
+
+TEST(MosfetModel, SubthresholdCurrentGrowsWithTemperature) {
+  // Below threshold, higher T means lower VTH and more diffusion current.
+  const MosfetParams p = nmos();
+  const double vg = p.vth0 - 0.15;
+  const double i_cold = evaluate_mosfet(p, vg, 1.0, 0.0, 0.0).id;
+  const double i_room = evaluate_mosfet(p, vg, 1.0, 0.0, 27.0).id;
+  const double i_hot = evaluate_mosfet(p, vg, 1.0, 0.0, 85.0).id;
+  EXPECT_LT(i_cold, i_room);
+  EXPECT_LT(i_room, i_hot);
+  // The change should be large (exponential region).
+  EXPECT_GT(i_hot / i_cold, 3.0);
+}
+
+TEST(MosfetModel, StrongInversionTempcoIsMuchWeaker) {
+  // Far above threshold, mobility degradation and VTH shift partly cancel;
+  // relative drift is far smaller than in subthreshold.
+  const MosfetParams p = nmos();
+  const double vg_strong = p.vth0 + 0.6;
+  const double vg_weak = p.vth0 - 0.15;
+  auto rel_drift = [&](double vg) {
+    const double i0 = evaluate_mosfet(p, vg, 1.0, 0.0, 0.0).id;
+    const double i85 = evaluate_mosfet(p, vg, 1.0, 0.0, 85.0).id;
+    return std::fabs(i85 / i0 - 1.0);
+  };
+  EXPECT_LT(rel_drift(vg_strong), 0.5);
+  EXPECT_GT(rel_drift(vg_weak), 2.0);
+}
+
+TEST(MosfetModel, DerivativesMatchFiniteDifferences) {
+  const MosfetParams p = nmos();
+  const double h = 1e-7;
+  for (const double vg : {0.2, 0.4, 0.8}) {
+    for (const double vd : {0.05, 0.5, 1.0}) {
+      const double vs = 0.1;
+      const MosfetEval ev = evaluate_mosfet(p, vg, vd, vs, 27.0);
+      const double dg =
+          (evaluate_mosfet(p, vg + h, vd, vs, 27.0).id -
+           evaluate_mosfet(p, vg - h, vd, vs, 27.0).id) /
+          (2 * h);
+      const double dd =
+          (evaluate_mosfet(p, vg, vd + h, vs, 27.0).id -
+           evaluate_mosfet(p, vg, vd - h, vs, 27.0).id) /
+          (2 * h);
+      const double ds =
+          (evaluate_mosfet(p, vg, vd, vs + h, 27.0).id -
+           evaluate_mosfet(p, vg, vd, vs - h, 27.0).id) /
+          (2 * h);
+      const double scale = std::max(std::fabs(ev.id) / 0.01, 1e-12);
+      EXPECT_NEAR(ev.gm_g, dg, scale * 1e-2 + std::fabs(dg) * 1e-3);
+      EXPECT_NEAR(ev.gm_d, dd, scale * 1e-2 + std::fabs(dd) * 1e-3);
+      EXPECT_NEAR(ev.gm_s, ds, scale * 1e-2 + std::fabs(ds) * 1e-3);
+    }
+  }
+}
+
+TEST(MosfetModel, PmosMirrorsNmos) {
+  MosfetParams pn = nmos();
+  MosfetParams pp = pn;
+  pp.type = MosType::kPmos;
+  const double in = evaluate_mosfet(pn, 0.8, 1.0, 0.0, 27.0).id;
+  const double ip = evaluate_mosfet(pp, -0.8, -1.0, 0.0, 27.0).id;
+  EXPECT_NEAR(in, -ip, std::fabs(in) * 1e-9);
+}
+
+TEST(MosfetModel, VthShiftActsLikeGateOffset) {
+  const MosfetParams p = nmos();
+  const double i_ref = evaluate_mosfet(p, 0.30, 1.0, 0.0, 27.0, 0.0).id;
+  const double i_shift = evaluate_mosfet(p, 0.35, 1.0, 0.0, 27.0, 0.05).id;
+  EXPECT_NEAR(i_ref, i_shift, std::fabs(i_ref) * 1e-9);
+}
+
+TEST(MosfetDevice, SourceFollowerBiasPoint) {
+  // NMOS source follower: out settles roughly a VTH below the gate.
+  Circuit ckt;
+  const auto vdd = ckt.node("vdd");
+  const auto gate = ckt.node("g");
+  const auto out = ckt.node("out");
+  ckt.add<VSource>("VDD", vdd, kGround, 1.8);
+  ckt.add<VSource>("VG", gate, kGround, 1.2);
+  ckt.add<devices::Mosfet>("M1", vdd, gate, out, nmos());
+  ckt.add<Resistor>("RL", out, kGround, 1e6);
+
+  Engine engine(ckt, 27.0);
+  const auto op = engine.dc_operating_point();
+  ASSERT_TRUE(op.converged);
+  const double vout = op.voltage("out");
+  EXPECT_GT(vout, 0.5);
+  EXPECT_LT(vout, 1.2);
+}
+
+TEST(MosfetDevice, CommonSourceInverterSwings) {
+  auto out_for_gate = [&](double vg) {
+    Circuit ckt;
+    const auto vdd = ckt.node("vdd");
+    const auto gate = ckt.node("g");
+    const auto out = ckt.node("out");
+    ckt.add<VSource>("VDD", vdd, kGround, 1.2);
+    ckt.add<VSource>("VG", gate, kGround, vg);
+    ckt.add<Resistor>("RD", vdd, out, 1e5);
+    ckt.add<devices::Mosfet>("M1", out, gate, kGround, nmos());
+    Engine engine(ckt, 27.0);
+    const auto op = engine.dc_operating_point();
+    EXPECT_TRUE(op.converged);
+    return op.voltage("out");
+  };
+  EXPECT_GT(out_for_gate(0.0), 1.1);   // off: output high
+  EXPECT_LT(out_for_gate(1.0), 0.3);   // on: output pulled low
+}
+
+TEST(MosfetParams, SpecificCurrentScalesWithGeometry) {
+  MosfetParams p = MosfetParams::finfet14_nmos(4.0);
+  MosfetParams p2 = MosfetParams::finfet14_nmos(8.0);
+  EXPECT_NEAR(p2.specific_current(27.0) / p.specific_current(27.0), 2.0,
+              1e-9);
+}
+
+TEST(MosfetParams, VthTemperatureCoefficient) {
+  const MosfetParams p = nmos();
+  EXPECT_NEAR(p.vth(27.0), p.vth0, 1e-15);
+  EXPECT_LT(p.vth(85.0), p.vth0);
+  EXPECT_GT(p.vth(0.0), p.vth0);
+}
+
+TEST(MosfetDevice, InvalidGeometryRejected) {
+  MosfetParams p = nmos();
+  p.w = 0.0;
+  Circuit ckt;
+  EXPECT_THROW(ckt.add<devices::Mosfet>("M1", ckt.node("d"), ckt.node("g"),
+                                        kGround, p),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sfc::devices

@@ -1,0 +1,178 @@
+// Quantization + CiM dot-engine tests: int8 inference must track float
+// inference; the bit-serial CiM engine with an ideal (exactly decoding)
+// array must equal the digital int8 reference bit-for-bit; temperature
+// and noise must corrupt it in controlled ways.
+#include <gtest/gtest.h>
+
+#include "cim/behavioral.hpp"
+#include "nn/cim_engine.hpp"
+#include "nn/trainer.hpp"
+#include "nn/vgg.hpp"
+
+namespace sfc::nn {
+namespace {
+
+sfc::data::SynthCifarConfig tiny_data() {
+  sfc::data::SynthCifarConfig cfg;
+  cfg.train_per_class = 24;
+  cfg.test_per_class = 6;
+  cfg.noise_sigma = 0.06;
+  return cfg;
+}
+
+struct TrainedFixture {
+  sfc::data::Dataset train = sfc::data::make_synth_cifar_train(tiny_data());
+  sfc::data::Dataset test = sfc::data::make_synth_cifar_test(tiny_data());
+  Sequential net;
+  QuantizedNetwork qnet;
+
+  TrainedFixture() {
+    sfc::util::Rng rng(21);
+    net.add<Conv2d>(3, 6, 3, true, rng);
+    net.add<Relu>();
+    net.add<MaxPool2d>(2);
+    net.add<Conv2d>(6, 10, 3, true, rng);
+    net.add<Relu>();
+    net.add<MaxPool2d>(2);
+    net.add<MaxPool2d>(2);
+    net.add<Flatten>();
+    net.add<Dense>(160, 10, rng);
+    TrainConfig cfg;
+    cfg.epochs = 5;
+    cfg.batch_size = 8;
+    cfg.learning_rate = 0.05;
+    Trainer trainer(net, cfg);
+    trainer.fit(train);
+    qnet = QuantizedNetwork::from_model(net, train, 16);
+  }
+};
+
+TrainedFixture& fixture() {
+  static TrainedFixture f;
+  return f;
+}
+
+TEST(IdealDotEngine, ExactIntegerDot) {
+  IdealDotEngine engine;
+  const std::vector<std::uint8_t> a = {1, 2, 3, 255};
+  const std::vector<std::int8_t> w = {1, -1, 2, -127};
+  EXPECT_EQ(engine.dot(a, w), 1 - 2 + 6 - 255LL * 127);
+}
+
+TEST(Quantize, Int8TracksFloatAccuracy) {
+  auto& f = fixture();
+  const double float_acc = Trainer::evaluate(f.net, f.test);
+  IdealDotEngine ideal;
+  const double int8_acc = f.qnet.evaluate(f.test, ideal);
+  EXPECT_GT(float_acc, 0.4);
+  EXPECT_GT(int8_acc, float_acc - 0.15);  // small quantization drop
+}
+
+TEST(Quantize, MacCountMatchesArchitecture) {
+  auto& f = fixture();
+  // conv1: 32*32*6*3*9, conv2: 16*16*10*6*9, fc: 160*10.
+  const std::int64_t expected =
+      32LL * 32 * 6 * 3 * 9 + 16LL * 16 * 10 * 6 * 9 + 160LL * 10;
+  EXPECT_EQ(f.qnet.macs_per_inference(), expected);
+}
+
+TEST(CimEngine, BitSerialEqualsIdealWithPerfectArray) {
+  // With the proposed array at its design temperature every 8-cell count
+  // decodes exactly, so the bit-serial path must match the integer dot
+  // bit-for-bit - on full network inference, not just a toy vector.
+  auto& f = fixture();
+  static const sfc::cim::BehavioralArrayModel model =
+      sfc::cim::BehavioralArrayModel::calibrate(
+          sfc::cim::ArrayConfig::proposed_2t1fefet(), {0.0, 27.0, 85.0});
+  CimDotEngine::Options opts;
+  opts.temperature_c = 27.0;
+  CimDotEngine cim(model, opts);
+  IdealDotEngine ideal;
+  for (int i = 0; i < 4; ++i) {
+    const auto& img = f.test.images[static_cast<std::size_t>(i)];
+    const Tensor a = f.qnet.forward(img, ideal);
+    const Tensor b = f.qnet.forward(img, cim);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      EXPECT_FLOAT_EQ(a[k], b[k]) << "image " << i << " logit " << k;
+    }
+  }
+  EXPECT_EQ(cim.row_errors(), 0);
+  EXPECT_GT(cim.row_ops(), 0);
+}
+
+TEST(CimEngine, RawDotsMatchAcrossLengths) {
+  static const sfc::cim::BehavioralArrayModel model =
+      sfc::cim::BehavioralArrayModel::calibrate(
+          sfc::cim::ArrayConfig::proposed_2t1fefet(), {27.0});
+  CimDotEngine::Options opts;
+  CimDotEngine cim(model, opts);
+  IdealDotEngine ideal;
+  sfc::util::Rng rng(31);
+  for (const std::size_t len : {1u, 7u, 8u, 9u, 63u, 64u, 65u, 200u}) {
+    std::vector<std::uint8_t> a(len);
+    std::vector<std::int8_t> w(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      a[i] = static_cast<std::uint8_t>(rng.uniform_index(256));
+      w[i] = static_cast<std::int8_t>(
+          static_cast<int>(rng.uniform_index(255)) - 127);
+    }
+    EXPECT_EQ(cim.dot(a, w), ideal.dot(a, w)) << "len=" << len;
+  }
+}
+
+TEST(CimEngine, RowOpsAccounting) {
+  static const sfc::cim::BehavioralArrayModel model =
+      sfc::cim::BehavioralArrayModel::calibrate(
+          sfc::cim::ArrayConfig::proposed_2t1fefet(), {27.0});
+  CimDotEngine cim(model, {});
+  const std::vector<std::uint8_t> a(16, 1);
+  const std::vector<std::int8_t> w(16, 1);
+  cim.dot(a, w);
+  // 16 elements = 2 groups; 8 activation planes x 7 weight planes x
+  // (pos+neg) = 112 plane passes x 2 groups.
+  EXPECT_EQ(cim.row_ops(), 2LL * 2 * 8 * 7);
+  cim.reset_counters();
+  EXPECT_EQ(cim.row_ops(), 0);
+}
+
+TEST(CimEngine, MiscountingArrayCorruptsDots) {
+  // Build a deliberately broken model: thresholds shifted so counts
+  // decode wrong at high temperature (use the subthreshold baseline).
+  static const sfc::cim::BehavioralArrayModel baseline =
+      sfc::cim::BehavioralArrayModel::calibrate(
+          sfc::cim::ArrayConfig::baseline_1r_subthreshold(),
+          {0.0, 27.0, 85.0});
+  CimDotEngine::Options opts;
+  opts.temperature_c = 85.0;
+  CimDotEngine cim(baseline, opts);
+  IdealDotEngine ideal;
+  // Half-active groups: mid MAC counts are where the drifted baseline
+  // levels cross the fixed ADC thresholds.
+  std::vector<std::uint8_t> a(64);
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = (i % 2) ? 255 : 0;
+  std::vector<std::int8_t> w(64, 127);
+  const auto got = cim.dot(a, w);
+  const auto want = ideal.dot(a, w);
+  EXPECT_NE(got, want);
+  EXPECT_GT(cim.row_errors(), 0);
+}
+
+TEST(CimEngine, NoiseDrawsAreDeterministicPerSeed) {
+  sfc::cim::MonteCarloConfig mc;
+  mc.runs = 4;
+  mc.sigma_vt_fefet = 0.054;
+  static const sfc::cim::BehavioralArrayModel model =
+      sfc::cim::BehavioralArrayModel::calibrate(
+          sfc::cim::ArrayConfig::proposed_2t1fefet(), {27.0}, &mc);
+  CimDotEngine::Options opts;
+  opts.with_variation_noise = true;
+  opts.noise_seed = 5;
+  std::vector<std::uint8_t> a(64, 200);
+  std::vector<std::int8_t> w(64, 100);
+  CimDotEngine e1(model, opts), e2(model, opts);
+  EXPECT_EQ(e1.dot(a, w), e2.dot(a, w));
+}
+
+}  // namespace
+}  // namespace sfc::nn

@@ -1,0 +1,62 @@
+// Table II reference-design model tests.
+#include <gtest/gtest.h>
+
+#include "cim/reference_designs.hpp"
+
+namespace sfc::cim {
+namespace {
+
+TEST(ReferenceDesigns, SixComparisonRows) {
+  const auto rows = reference_designs();
+  ASSERT_EQ(rows.size(), 6u);
+  EXPECT_EQ(rows[0].work, "[34]");
+  EXPECT_EQ(rows[0].cell, "6T SRAM");
+  EXPECT_EQ(rows[2].work, "[17]");
+  EXPECT_DOUBLE_EQ(rows[2].tops_per_watt, 13714.0);
+  EXPECT_EQ(rows[4].device, "ReRAM");
+  EXPECT_EQ(rows[5].device, "MTJ");
+}
+
+TEST(ReferenceDesigns, PaperEnergyRatiosReproduced) {
+  // Paper: "ReRAM and MTJ consume 64.6x and 445.9x more operation energy
+  // than 2T-1FeFET" relative to 3.14 fJ/op.
+  const auto rows = reference_designs();
+  const double e_this_work = 3.14e-15;
+  EXPECT_NEAR(energy_ratio_vs(rows[4], e_this_work), 64.6, 0.5);
+  EXPECT_NEAR(energy_ratio_vs(rows[5], e_this_work), 445.9, 1.0);
+}
+
+TEST(ReferenceDesigns, RatioHandlesMissingData) {
+  const auto rows = reference_designs();
+  // [34] reports only per-inference energy -> no per-op ratio.
+  EXPECT_DOUBLE_EQ(energy_ratio_vs(rows[0], 3.14e-15), 0.0);
+  EXPECT_DOUBLE_EQ(energy_ratio_vs(rows[4], 0.0), 0.0);
+}
+
+TEST(ReferenceDesigns, ThisWorkRowFormatting) {
+  const DesignRow row = this_work_row(89.45, 3.14e-15, 2866.0, 85.08e-9);
+  EXPECT_EQ(row.work, "This Work");
+  EXPECT_EQ(row.cell, "2T-1FeFET");
+  EXPECT_NE(row.accuracy.find("89.45"), std::string::npos);
+  EXPECT_NE(row.energy.find("3.14"), std::string::npos);
+  EXPECT_NE(row.energy.find("85.08"), std::string::npos);
+  EXPECT_DOUBLE_EQ(row.tops_per_watt, 2866.0);
+}
+
+TEST(ReferenceDesigns, FeFetDesignsBeatOthersOnEfficiency) {
+  // The qualitative Table II story: FeFET CiM tops the TOPS/W column.
+  const auto rows = reference_designs();
+  double best_fefet = 0.0, best_other = 0.0;
+  for (const auto& row : rows) {
+    if (row.tops_per_watt <= 0.0) continue;
+    if (row.device == "FeFET") {
+      best_fefet = std::max(best_fefet, row.tops_per_watt);
+    } else {
+      best_other = std::max(best_other, row.tops_per_watt);
+    }
+  }
+  EXPECT_GT(best_fefet, best_other);
+}
+
+}  // namespace
+}  // namespace sfc::cim

@@ -1,0 +1,122 @@
+// Reliability physics tests: retention (thermal depolarization) and read
+// disturb on the Preisach model, and their array-level consequences.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cim/array.hpp"
+#include "fefet/preisach.hpp"
+
+namespace sfc::fefet {
+namespace {
+
+constexpr double kYear = 3.156e7;  // seconds
+
+TEST(Retention, ArrheniusOrdering) {
+  PreisachModel fe;
+  // Hotter -> faster depolarization.
+  EXPECT_LT(fe.retention_tau(85.0), fe.retention_tau(27.0));
+  EXPECT_LT(fe.retention_tau(125.0), fe.retention_tau(85.0));
+  // Ten-year-class retention at 85 degC (HfO2 FeFET ballpark).
+  EXPECT_GT(fe.retention_tau(85.0), 10.0 * kYear);
+}
+
+TEST(Retention, AgingDecaysPolarizationTowardZero) {
+  PreisachModel fe;
+  fe.write_bit(true, 27.0);
+  const double p0 = fe.polarization();
+  fe.age(10.0 * kYear, 85.0);
+  const double p1 = fe.polarization();
+  EXPECT_LT(p1, p0);
+  EXPECT_GT(p1, 0.9);  // still clearly a '1' after 10 years at 85C
+  // The high state decays symmetrically (toward zero, i.e. upward).
+  PreisachModel hi;
+  hi.write_bit(false, 27.0);
+  const double h0 = hi.polarization();
+  hi.age(10.0 * kYear, 85.0);
+  EXPECT_GT(hi.polarization(), h0);
+}
+
+TEST(Retention, ZeroAndNegativeTimeAreNoOps) {
+  PreisachModel fe;
+  fe.write_bit(true, 27.0);
+  const double p = fe.polarization();
+  fe.age(0.0, 85.0);
+  fe.age(-5.0, 85.0);
+  EXPECT_DOUBLE_EQ(fe.polarization(), p);
+}
+
+TEST(Retention, AgingIsComposable) {
+  PreisachModel a, b;
+  a.write_bit(true, 27.0);
+  b.write_bit(true, 27.0);
+  a.age(2.0 * kYear, 85.0);
+  a.age(3.0 * kYear, 85.0);
+  b.age(5.0 * kYear, 85.0);
+  EXPECT_NEAR(a.polarization(), b.polarization(), 1e-12);
+}
+
+TEST(ReadDisturb, SingleReadIsNegligible) {
+  PreisachModel fe;
+  fe.write_bit(true, 27.0);
+  const double p0 = fe.polarization();
+  fe.read_disturb(-0.2, 5e-9, 1, 85.0);
+  EXPECT_NEAR(fe.polarization(), p0, 1e-9);
+}
+
+TEST(ReadDisturb, BillionsOfOpposingReadsAccumulate) {
+  PreisachModel fe;
+  fe.write_bit(true, 27.0);
+  fe.read_disturb(-0.2, 5e-9, 1000000000L, 85.0);
+  const double p = fe.polarization();
+  EXPECT_LT(p, 0.999);  // measurable shift...
+  EXPECT_GT(p, 0.5);    // ...but nowhere near a flip
+}
+
+TEST(ReadDisturb, AlignedReadsDoNotDegrade) {
+  // Positive read pulses push toward the already-stored '1'.
+  PreisachModel fe;
+  fe.write_bit(true, 27.0);
+  const double p0 = fe.polarization();
+  fe.read_disturb(0.35, 5e-9, 1000000000L, 85.0);
+  EXPECT_GE(fe.polarization(), p0 - 1e-9);
+}
+
+TEST(ReadDisturb, HigherVoltageDisturbsMore) {
+  PreisachModel a, b;
+  a.write_bit(true, 27.0);
+  b.write_bit(true, 27.0);
+  a.read_disturb(-0.2, 5e-9, 100000000L, 85.0);
+  b.read_disturb(-0.5, 5e-9, 100000000L, 85.0);
+  EXPECT_LT(b.polarization(), a.polarization());
+}
+
+TEST(ReadDisturb, AboveCoerciveActsAsWrite) {
+  PreisachModel fe;
+  fe.write_bit(false, 27.0);
+  // One long effective pulse far above every coercive voltage.
+  fe.read_disturb(4.0, 115e-9, 1, 27.0);
+  EXPECT_GT(fe.polarization(), 0.9);
+}
+
+TEST(ArrayReliability, DecodeSurvivesDecadeBake) {
+  // Age every FeFET of a programmed row by 10 years at 85C; the row must
+  // still produce monotone, well-separated MAC levels at 27C.
+  sfc::cim::CiMRow row(sfc::cim::ArrayConfig::proposed_2t1fefet());
+  row.set_stored(std::vector<int>(8, 1));
+  for (int i = 0; i < 8; ++i) {
+    row.cell(i).fefet->ferroelectric().age(10.0 * kYear, 85.0);
+  }
+  double prev = -1.0;
+  for (int k = 0; k <= 8; k += 2) {
+    std::vector<int> inputs(8, 0);
+    for (int i = 0; i < k; ++i) inputs[static_cast<std::size_t>(i)] = 1;
+    const auto r = row.evaluate(inputs, 27.0);
+    ASSERT_TRUE(r.converged);
+    EXPECT_GT(r.v_acc, prev);
+    prev = r.v_acc;
+  }
+}
+
+}  // namespace
+}  // namespace sfc::fefet

@@ -1,0 +1,241 @@
+// Unit tests for the utility layer: RNG determinism and distributions,
+// statistics, histogram binning, interpolation, table/CSV formatting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "util/csv.hpp"
+#include "util/histogram.hpp"
+#include "util/interp.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace sfc::util {
+namespace {
+
+TEST(Units, ThermalVoltageAtRoomTemperature) {
+  const double vt = thermal_voltage(celsius_to_kelvin(27.0));
+  EXPECT_NEAR(vt, 0.02585, 2e-4);
+}
+
+TEST(Units, CelsiusKelvinRoundTrip) {
+  EXPECT_DOUBLE_EQ(kelvin_to_celsius(celsius_to_kelvin(85.0)), 85.0);
+  EXPECT_DOUBLE_EQ(celsius_to_kelvin(0.0), 273.15);
+}
+
+TEST(Units, Literals) {
+  using namespace literals;
+  EXPECT_DOUBLE_EQ(350.0_mV, 0.35);
+  EXPECT_DOUBLE_EQ(5.0_fF, 5e-15);
+  EXPECT_DOUBLE_EQ(200.0_ns, 2e-7);
+  EXPECT_DOUBLE_EQ(10.0_MOhm, 1e7);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(11);
+  std::vector<double> samples(20000);
+  for (auto& s : samples) s = rng.normal(1.5, 0.5);
+  const Summary sum = summarize(samples);
+  EXPECT_NEAR(sum.mean, 1.5, 0.02);
+  EXPECT_NEAR(sum.stddev, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIndexCoversRangeWithoutBias) {
+  Rng rng(3);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    ++counts[static_cast<std::size_t>(rng.uniform_index(10))];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 800);
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(5);
+  Rng child = parent.split();
+  // Child continues to produce values even after the parent is used.
+  const double c1 = child.uniform();
+  parent.uniform();
+  const double c2 = child.uniform();
+  EXPECT_NE(c1, c2);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(13);
+  const auto perm = rng.permutation(50);
+  std::vector<bool> seen(50, false);
+  for (std::size_t idx : perm) {
+    ASSERT_LT(idx, 50u);
+    EXPECT_FALSE(seen[idx]);
+    seen[idx] = true;
+  }
+}
+
+TEST(Stats, SummaryBasics) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+  EXPECT_DOUBLE_EQ(s.range(), 3.0);
+}
+
+TEST(Stats, EmptySampleIsZeroed) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, Percentiles) {
+  std::vector<double> v;
+  for (int i = 0; i <= 100; ++i) v.push_back(i);
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 100.0);
+  EXPECT_NEAR(percentile(v, 95), 95.0, 1e-9);
+}
+
+TEST(Stats, CorrelationSigns) {
+  const std::vector<double> x = {0, 1, 2, 3, 4};
+  const std::vector<double> y_pos = {1, 3, 5, 7, 9};
+  std::vector<double> y_neg = y_pos;
+  std::reverse(y_neg.begin(), y_neg.end());
+  EXPECT_NEAR(correlation(x, y_pos), 1.0, 1e-12);
+  EXPECT_NEAR(correlation(x, y_neg), -1.0, 1e-12);
+}
+
+TEST(Stats, LinearFitRecoversLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 - 0.25 * i);
+  }
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-12);
+  EXPECT_NEAR(fit.slope, -0.25, 1e-12);
+}
+
+TEST(Stats, ProbitMatchesKnownQuantiles) {
+  EXPECT_NEAR(probit(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(probit(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(probit(0.025), -1.959964, 1e-5);
+  EXPECT_NEAR(probit(0.841344746), 1.0, 1e-6);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);    // bin 0
+  h.add(9.99);   // bin 4
+  h.add(-3.0);   // clamped to bin 0
+  h.add(42.0);   // clamped to bin 4
+  h.add(5.0);    // bin 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(4), 10.0);
+}
+
+TEST(Histogram, AsciiRenderContainsCounts) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.1);
+  h.add(0.9);
+  h.add(0.95);
+  const std::string art = h.ascii(10);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find("2"), std::string::npos);
+}
+
+TEST(Interp, PiecewiseLinearInterpolatesAndClamps) {
+  PiecewiseLinear f({{0.0, 0.0}, {1.0, 10.0}, {3.0, 10.0}});
+  EXPECT_DOUBLE_EQ(f(-1.0), 0.0);   // clamp left
+  EXPECT_DOUBLE_EQ(f(0.5), 5.0);    // interpolate
+  EXPECT_DOUBLE_EQ(f(2.0), 10.0);   // flat segment
+  EXPECT_DOUBLE_EQ(f(9.0), 10.0);   // clamp right
+}
+
+TEST(Interp, InverseOfMonotoneFunction) {
+  PiecewiseLinear f({{0.0, 1.0}, {2.0, 3.0}, {4.0, 7.0}});
+  EXPECT_DOUBLE_EQ(f.inverse(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(f.inverse(5.0), 3.0);
+  EXPECT_DOUBLE_EQ(f.inverse(0.0), 0.0);   // clamp
+  EXPECT_DOUBLE_EQ(f.inverse(99.0), 4.0);  // clamp
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"metric", "value"});
+  t.add_row({"energy", "3.14"});
+  t.add_row_numeric({2866.0, 1.0});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("energy"), std::string::npos);
+  EXPECT_NE(s.find("2866"), std::string::npos);
+  EXPECT_NE(s.find("+--"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(fmt(3.14159, 3), "3.14");
+  EXPECT_EQ(fmt_percent(0.206), "+20.6%");
+  EXPECT_EQ(fmt_percent(-0.521), "-52.1%");
+}
+
+TEST(Csv, EscapesAndWrites) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sfc_csv_test.csv").string();
+  {
+    CsvWriter csv(path, {"t", "v"});
+    csv.row({1.0, 2.5});
+    csv.row_text({"x,y", "3"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "t,v");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2.5");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"x,y\",3");
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace sfc::util
