@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cell_design.dir/ablation_cell_design.cpp.o"
+  "CMakeFiles/ablation_cell_design.dir/ablation_cell_design.cpp.o.d"
+  "ablation_cell_design"
+  "ablation_cell_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cell_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

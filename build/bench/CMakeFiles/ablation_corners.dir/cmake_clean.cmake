@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_corners.dir/ablation_corners.cpp.o"
+  "CMakeFiles/ablation_corners.dir/ablation_corners.cpp.o.d"
+  "ablation_corners"
+  "ablation_corners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_corners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

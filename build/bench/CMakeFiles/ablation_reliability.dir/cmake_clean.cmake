@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reliability.dir/ablation_reliability.cpp.o"
+  "CMakeFiles/ablation_reliability.dir/ablation_reliability.cpp.o.d"
+  "ablation_reliability"
+  "ablation_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wordlength.dir/ablation_wordlength.cpp.o"
+  "CMakeFiles/ablation_wordlength.dir/ablation_wordlength.cpp.o.d"
+  "ablation_wordlength"
+  "ablation_wordlength.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wordlength.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

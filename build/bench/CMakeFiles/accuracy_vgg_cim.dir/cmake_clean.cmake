@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accuracy_vgg_cim.dir/accuracy_vgg_cim.cpp.o"
+  "CMakeFiles/accuracy_vgg_cim.dir/accuracy_vgg_cim.cpp.o.d"
+  "accuracy_vgg_cim"
+  "accuracy_vgg_cim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accuracy_vgg_cim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

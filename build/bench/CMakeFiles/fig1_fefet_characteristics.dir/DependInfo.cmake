@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig1_fefet_characteristics.cpp" "bench/CMakeFiles/fig1_fefet_characteristics.dir/fig1_fefet_characteristics.cpp.o" "gcc" "bench/CMakeFiles/fig1_fefet_characteristics.dir/fig1_fefet_characteristics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/sfc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/cim/CMakeFiles/sfc_cim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fefet/CMakeFiles/sfc_fefet.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/sfc_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/sfc_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/sfc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sfc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_fefet_characteristics.dir/fig1_fefet_characteristics.cpp.o"
+  "CMakeFiles/fig1_fefet_characteristics.dir/fig1_fefet_characteristics.cpp.o.d"
+  "fig1_fefet_characteristics"
+  "fig1_fefet_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_fefet_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_1fefet1r_temperature.dir/fig3_1fefet1r_temperature.cpp.o"
+  "CMakeFiles/fig3_1fefet1r_temperature.dir/fig3_1fefet1r_temperature.cpp.o.d"
+  "fig3_1fefet1r_temperature"
+  "fig3_1fefet1r_temperature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_1fefet1r_temperature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_1fefet1r_array_overlap.dir/fig4_1fefet1r_array_overlap.cpp.o"
+  "CMakeFiles/fig4_1fefet1r_array_overlap.dir/fig4_1fefet1r_array_overlap.cpp.o.d"
+  "fig4_1fefet1r_array_overlap"
+  "fig4_1fefet1r_array_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_1fefet1r_array_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_1fefet1r_array_overlap.
+# This may be replaced when dependencies are built.

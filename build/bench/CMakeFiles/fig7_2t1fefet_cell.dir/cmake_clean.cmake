@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_2t1fefet_cell.dir/fig7_2t1fefet_cell.cpp.o"
+  "CMakeFiles/fig7_2t1fefet_cell.dir/fig7_2t1fefet_cell.cpp.o.d"
+  "fig7_2t1fefet_cell"
+  "fig7_2t1fefet_cell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_2t1fefet_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_2t1fefet_cell.
+# This may be replaced when dependencies are built.

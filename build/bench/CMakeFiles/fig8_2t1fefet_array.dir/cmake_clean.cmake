@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_2t1fefet_array.dir/fig8_2t1fefet_array.cpp.o"
+  "CMakeFiles/fig8_2t1fefet_array.dir/fig8_2t1fefet_array.cpp.o.d"
+  "fig8_2t1fefet_array"
+  "fig8_2t1fefet_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_2t1fefet_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

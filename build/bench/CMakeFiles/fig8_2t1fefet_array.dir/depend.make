@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_2t1fefet_array.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_montecarlo_variation.dir/fig9_montecarlo_variation.cpp.o"
+  "CMakeFiles/fig9_montecarlo_variation.dir/fig9_montecarlo_variation.cpp.o.d"
+  "fig9_montecarlo_variation"
+  "fig9_montecarlo_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_montecarlo_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

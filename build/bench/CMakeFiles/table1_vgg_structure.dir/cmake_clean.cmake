@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_vgg_structure.dir/table1_vgg_structure.cpp.o"
+  "CMakeFiles/table1_vgg_structure.dir/table1_vgg_structure.cpp.o.d"
+  "table1_vgg_structure"
+  "table1_vgg_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_vgg_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

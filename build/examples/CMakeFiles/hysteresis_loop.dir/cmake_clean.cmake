@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hysteresis_loop.dir/hysteresis_loop.cpp.o"
+  "CMakeFiles/hysteresis_loop.dir/hysteresis_loop.cpp.o.d"
+  "hysteresis_loop"
+  "hysteresis_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hysteresis_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

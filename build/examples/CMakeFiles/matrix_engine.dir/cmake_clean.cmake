@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_engine.dir/matrix_engine.cpp.o"
+  "CMakeFiles/matrix_engine.dir/matrix_engine.cpp.o.d"
+  "matrix_engine"
+  "matrix_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

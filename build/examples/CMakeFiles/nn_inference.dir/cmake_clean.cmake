@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_inference.dir/nn_inference.cpp.o"
+  "CMakeFiles/nn_inference.dir/nn_inference.cpp.o.d"
+  "nn_inference"
+  "nn_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temperature_sweep.dir/temperature_sweep.cpp.o"
+  "CMakeFiles/temperature_sweep.dir/temperature_sweep.cpp.o.d"
+  "temperature_sweep"
+  "temperature_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temperature_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cim/array.cpp" "src/cim/CMakeFiles/sfc_cim.dir/array.cpp.o" "gcc" "src/cim/CMakeFiles/sfc_cim.dir/array.cpp.o.d"
+  "/root/repo/src/cim/behavioral.cpp" "src/cim/CMakeFiles/sfc_cim.dir/behavioral.cpp.o" "gcc" "src/cim/CMakeFiles/sfc_cim.dir/behavioral.cpp.o.d"
+  "/root/repo/src/cim/calibration.cpp" "src/cim/CMakeFiles/sfc_cim.dir/calibration.cpp.o" "gcc" "src/cim/CMakeFiles/sfc_cim.dir/calibration.cpp.o.d"
+  "/root/repo/src/cim/cell_1fefet1r.cpp" "src/cim/CMakeFiles/sfc_cim.dir/cell_1fefet1r.cpp.o" "gcc" "src/cim/CMakeFiles/sfc_cim.dir/cell_1fefet1r.cpp.o.d"
+  "/root/repo/src/cim/cell_2t1fefet.cpp" "src/cim/CMakeFiles/sfc_cim.dir/cell_2t1fefet.cpp.o" "gcc" "src/cim/CMakeFiles/sfc_cim.dir/cell_2t1fefet.cpp.o.d"
+  "/root/repo/src/cim/energy.cpp" "src/cim/CMakeFiles/sfc_cim.dir/energy.cpp.o" "gcc" "src/cim/CMakeFiles/sfc_cim.dir/energy.cpp.o.d"
+  "/root/repo/src/cim/mac.cpp" "src/cim/CMakeFiles/sfc_cim.dir/mac.cpp.o" "gcc" "src/cim/CMakeFiles/sfc_cim.dir/mac.cpp.o.d"
+  "/root/repo/src/cim/metrics.cpp" "src/cim/CMakeFiles/sfc_cim.dir/metrics.cpp.o" "gcc" "src/cim/CMakeFiles/sfc_cim.dir/metrics.cpp.o.d"
+  "/root/repo/src/cim/montecarlo.cpp" "src/cim/CMakeFiles/sfc_cim.dir/montecarlo.cpp.o" "gcc" "src/cim/CMakeFiles/sfc_cim.dir/montecarlo.cpp.o.d"
+  "/root/repo/src/cim/reference_designs.cpp" "src/cim/CMakeFiles/sfc_cim.dir/reference_designs.cpp.o" "gcc" "src/cim/CMakeFiles/sfc_cim.dir/reference_designs.cpp.o.d"
+  "/root/repo/src/cim/tile.cpp" "src/cim/CMakeFiles/sfc_cim.dir/tile.cpp.o" "gcc" "src/cim/CMakeFiles/sfc_cim.dir/tile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fefet/CMakeFiles/sfc_fefet.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/sfc_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/sfc_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sfc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfc_cim.dir/array.cpp.o"
+  "CMakeFiles/sfc_cim.dir/array.cpp.o.d"
+  "CMakeFiles/sfc_cim.dir/behavioral.cpp.o"
+  "CMakeFiles/sfc_cim.dir/behavioral.cpp.o.d"
+  "CMakeFiles/sfc_cim.dir/calibration.cpp.o"
+  "CMakeFiles/sfc_cim.dir/calibration.cpp.o.d"
+  "CMakeFiles/sfc_cim.dir/cell_1fefet1r.cpp.o"
+  "CMakeFiles/sfc_cim.dir/cell_1fefet1r.cpp.o.d"
+  "CMakeFiles/sfc_cim.dir/cell_2t1fefet.cpp.o"
+  "CMakeFiles/sfc_cim.dir/cell_2t1fefet.cpp.o.d"
+  "CMakeFiles/sfc_cim.dir/energy.cpp.o"
+  "CMakeFiles/sfc_cim.dir/energy.cpp.o.d"
+  "CMakeFiles/sfc_cim.dir/mac.cpp.o"
+  "CMakeFiles/sfc_cim.dir/mac.cpp.o.d"
+  "CMakeFiles/sfc_cim.dir/metrics.cpp.o"
+  "CMakeFiles/sfc_cim.dir/metrics.cpp.o.d"
+  "CMakeFiles/sfc_cim.dir/montecarlo.cpp.o"
+  "CMakeFiles/sfc_cim.dir/montecarlo.cpp.o.d"
+  "CMakeFiles/sfc_cim.dir/reference_designs.cpp.o"
+  "CMakeFiles/sfc_cim.dir/reference_designs.cpp.o.d"
+  "CMakeFiles/sfc_cim.dir/tile.cpp.o"
+  "CMakeFiles/sfc_cim.dir/tile.cpp.o.d"
+  "libsfc_cim.a"
+  "libsfc_cim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfc_cim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

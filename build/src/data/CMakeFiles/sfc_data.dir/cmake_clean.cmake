@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfc_data.dir/synth_cifar.cpp.o"
+  "CMakeFiles/sfc_data.dir/synth_cifar.cpp.o.d"
+  "libsfc_data.a"
+  "libsfc_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfc_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

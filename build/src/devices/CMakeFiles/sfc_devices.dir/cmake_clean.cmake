@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfc_devices.dir/diode.cpp.o"
+  "CMakeFiles/sfc_devices.dir/diode.cpp.o.d"
+  "CMakeFiles/sfc_devices.dir/mosfet.cpp.o"
+  "CMakeFiles/sfc_devices.dir/mosfet.cpp.o.d"
+  "libsfc_devices.a"
+  "libsfc_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfc_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

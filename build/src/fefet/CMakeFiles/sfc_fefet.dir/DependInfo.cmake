@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spice/netlist.cpp" "src/fefet/CMakeFiles/sfc_fefet.dir/__/spice/netlist.cpp.o" "gcc" "src/fefet/CMakeFiles/sfc_fefet.dir/__/spice/netlist.cpp.o.d"
+  "/root/repo/src/fefet/fefet.cpp" "src/fefet/CMakeFiles/sfc_fefet.dir/fefet.cpp.o" "gcc" "src/fefet/CMakeFiles/sfc_fefet.dir/fefet.cpp.o.d"
+  "/root/repo/src/fefet/preisach.cpp" "src/fefet/CMakeFiles/sfc_fefet.dir/preisach.cpp.o" "gcc" "src/fefet/CMakeFiles/sfc_fefet.dir/preisach.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/devices/CMakeFiles/sfc_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sfc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/sfc_spice.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfc_fefet.dir/__/spice/netlist.cpp.o"
+  "CMakeFiles/sfc_fefet.dir/__/spice/netlist.cpp.o.d"
+  "CMakeFiles/sfc_fefet.dir/fefet.cpp.o"
+  "CMakeFiles/sfc_fefet.dir/fefet.cpp.o.d"
+  "CMakeFiles/sfc_fefet.dir/preisach.cpp.o"
+  "CMakeFiles/sfc_fefet.dir/preisach.cpp.o.d"
+  "libsfc_fefet.a"
+  "libsfc_fefet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfc_fefet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/cim_engine.cpp" "src/nn/CMakeFiles/sfc_nn.dir/cim_engine.cpp.o" "gcc" "src/nn/CMakeFiles/sfc_nn.dir/cim_engine.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/sfc_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/sfc_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/nn/CMakeFiles/sfc_nn.dir/model.cpp.o" "gcc" "src/nn/CMakeFiles/sfc_nn.dir/model.cpp.o.d"
+  "/root/repo/src/nn/quantize.cpp" "src/nn/CMakeFiles/sfc_nn.dir/quantize.cpp.o" "gcc" "src/nn/CMakeFiles/sfc_nn.dir/quantize.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/nn/CMakeFiles/sfc_nn.dir/trainer.cpp.o" "gcc" "src/nn/CMakeFiles/sfc_nn.dir/trainer.cpp.o.d"
+  "/root/repo/src/nn/vgg.cpp" "src/nn/CMakeFiles/sfc_nn.dir/vgg.cpp.o" "gcc" "src/nn/CMakeFiles/sfc_nn.dir/vgg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/sfc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/cim/CMakeFiles/sfc_cim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sfc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/fefet/CMakeFiles/sfc_fefet.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/sfc_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/sfc_spice.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfc_nn.dir/cim_engine.cpp.o"
+  "CMakeFiles/sfc_nn.dir/cim_engine.cpp.o.d"
+  "CMakeFiles/sfc_nn.dir/layers.cpp.o"
+  "CMakeFiles/sfc_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/sfc_nn.dir/model.cpp.o"
+  "CMakeFiles/sfc_nn.dir/model.cpp.o.d"
+  "CMakeFiles/sfc_nn.dir/quantize.cpp.o"
+  "CMakeFiles/sfc_nn.dir/quantize.cpp.o.d"
+  "CMakeFiles/sfc_nn.dir/trainer.cpp.o"
+  "CMakeFiles/sfc_nn.dir/trainer.cpp.o.d"
+  "CMakeFiles/sfc_nn.dir/vgg.cpp.o"
+  "CMakeFiles/sfc_nn.dir/vgg.cpp.o.d"
+  "libsfc_nn.a"
+  "libsfc_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfc_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfc_spice.dir/circuit.cpp.o"
+  "CMakeFiles/sfc_spice.dir/circuit.cpp.o.d"
+  "CMakeFiles/sfc_spice.dir/device.cpp.o"
+  "CMakeFiles/sfc_spice.dir/device.cpp.o.d"
+  "CMakeFiles/sfc_spice.dir/engine.cpp.o"
+  "CMakeFiles/sfc_spice.dir/engine.cpp.o.d"
+  "CMakeFiles/sfc_spice.dir/matrix.cpp.o"
+  "CMakeFiles/sfc_spice.dir/matrix.cpp.o.d"
+  "CMakeFiles/sfc_spice.dir/primitives.cpp.o"
+  "CMakeFiles/sfc_spice.dir/primitives.cpp.o.d"
+  "CMakeFiles/sfc_spice.dir/results.cpp.o"
+  "CMakeFiles/sfc_spice.dir/results.cpp.o.d"
+  "CMakeFiles/sfc_spice.dir/sweep.cpp.o"
+  "CMakeFiles/sfc_spice.dir/sweep.cpp.o.d"
+  "CMakeFiles/sfc_spice.dir/waveform.cpp.o"
+  "CMakeFiles/sfc_spice.dir/waveform.cpp.o.d"
+  "libsfc_spice.a"
+  "libsfc_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfc_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfc_util.dir/csv.cpp.o"
+  "CMakeFiles/sfc_util.dir/csv.cpp.o.d"
+  "CMakeFiles/sfc_util.dir/histogram.cpp.o"
+  "CMakeFiles/sfc_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/sfc_util.dir/interp.cpp.o"
+  "CMakeFiles/sfc_util.dir/interp.cpp.o.d"
+  "CMakeFiles/sfc_util.dir/plot.cpp.o"
+  "CMakeFiles/sfc_util.dir/plot.cpp.o.d"
+  "CMakeFiles/sfc_util.dir/rng.cpp.o"
+  "CMakeFiles/sfc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/sfc_util.dir/stats.cpp.o"
+  "CMakeFiles/sfc_util.dir/stats.cpp.o.d"
+  "CMakeFiles/sfc_util.dir/table.cpp.o"
+  "CMakeFiles/sfc_util.dir/table.cpp.o.d"
+  "libsfc_util.a"
+  "libsfc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

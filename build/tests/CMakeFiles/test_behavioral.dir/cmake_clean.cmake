@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_behavioral.dir/test_behavioral.cpp.o"
+  "CMakeFiles/test_behavioral.dir/test_behavioral.cpp.o.d"
+  "test_behavioral"
+  "test_behavioral.pdb"
+  "test_behavioral[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_behavioral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cim_array.dir/test_cim_array.cpp.o"
+  "CMakeFiles/test_cim_array.dir/test_cim_array.cpp.o.d"
+  "test_cim_array"
+  "test_cim_array.pdb"
+  "test_cim_array[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cim_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cim_cell.dir/test_cim_cell.cpp.o"
+  "CMakeFiles/test_cim_cell.dir/test_cim_cell.cpp.o.d"
+  "test_cim_cell"
+  "test_cim_cell.pdb"
+  "test_cim_cell[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cim_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

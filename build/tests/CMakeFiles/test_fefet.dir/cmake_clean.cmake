@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fefet.dir/test_fefet.cpp.o"
+  "CMakeFiles/test_fefet.dir/test_fefet.cpp.o.d"
+  "test_fefet"
+  "test_fefet.pdb"
+  "test_fefet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fefet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_preisach.dir/test_preisach.cpp.o"
+  "CMakeFiles/test_preisach.dir/test_preisach.cpp.o.d"
+  "test_preisach"
+  "test_preisach.pdb"
+  "test_preisach[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_preisach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

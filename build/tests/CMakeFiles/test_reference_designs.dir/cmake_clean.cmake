@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reference_designs.dir/test_reference_designs.cpp.o"
+  "CMakeFiles/test_reference_designs.dir/test_reference_designs.cpp.o.d"
+  "test_reference_designs"
+  "test_reference_designs.pdb"
+  "test_reference_designs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reference_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

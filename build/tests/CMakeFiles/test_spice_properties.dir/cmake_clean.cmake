@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spice_properties.dir/test_spice_properties.cpp.o"
+  "CMakeFiles/test_spice_properties.dir/test_spice_properties.cpp.o.d"
+  "test_spice_properties"
+  "test_spice_properties.pdb"
+  "test_spice_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spice_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_spice_dc[1]_include.cmake")
+include("/root/repo/build/tests/test_spice_transient[1]_include.cmake")
+include("/root/repo/build/tests/test_spice_ac[1]_include.cmake")
+include("/root/repo/build/tests/test_waveform[1]_include.cmake")
+include("/root/repo/build/tests/test_netlist[1]_include.cmake")
+include("/root/repo/build/tests/test_mosfet[1]_include.cmake")
+include("/root/repo/build/tests/test_preisach[1]_include.cmake")
+include("/root/repo/build/tests/test_fefet[1]_include.cmake")
+include("/root/repo/build/tests/test_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_cim_cell[1]_include.cmake")
+include("/root/repo/build/tests/test_cim_array[1]_include.cmake")
+include("/root/repo/build/tests/test_montecarlo[1]_include.cmake")
+include("/root/repo/build/tests/test_behavioral[1]_include.cmake")
+include("/root/repo/build/tests/test_data[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_layers[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_training[1]_include.cmake")
+include("/root/repo/build/tests/test_quantize[1]_include.cmake")
+include("/root/repo/build/tests/test_reference_designs[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_reliability[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_tile[1]_include.cmake")
+include("/root/repo/build/tests/test_spice_properties[1]_include.cmake")
