@@ -2,10 +2,20 @@
 // kernel, Newton DC solves, transient steps, full MAC cycles, and the
 // behavioural-model fast path. These are engineering benchmarks for the
 // reproduction itself, not paper artifacts.
+//
+// Pass --threads N (before any google-benchmark flags) to additionally run
+// the Monte Carlo fan-out serially and with N threads, verify the outputs
+// are bit-identical, and report the speedup.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "cim/array.hpp"
 #include "cim/behavioral.hpp"
+#include "cim/montecarlo.hpp"
 #include "devices/mosfet.hpp"
 #include "nn/cim_engine.hpp"
 #include "spice/engine.hpp"
@@ -116,4 +126,65 @@ static void BM_MosfetEval(benchmark::State& state) {
 }
 BENCHMARK(BM_MosfetEval);
 
-BENCHMARK_MAIN();
+namespace {
+
+/// Remove `--threads N` / `--threads=N` from argv (google-benchmark rejects
+/// flags it does not know). Returns the requested count, 0 if absent.
+int strip_threads_flag(int* argc, char** argv) {
+  int threads = 0;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < *argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = std::atoi(arg.c_str() + 10);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return threads;
+}
+
+void report_montecarlo_speedup(int threads) {
+  cim::MonteCarloConfig mc;
+  mc.runs = 24;
+  mc.sigma_vt_fefet = 0.054;
+  mc.mac_values = {0, 2, 4, 6, 8};
+  const cim::ArrayConfig cfg = cim::ArrayConfig::proposed_2t1fefet();
+
+  mc.exec = exec::ExecPolicy::serial();
+  const cim::MonteCarloResult serial = cim::run_montecarlo(cfg, mc);
+  mc.exec.threads = threads;
+  const cim::MonteCarloResult parallel = cim::run_montecarlo(cfg, mc);
+
+  bool identical = serial.samples.size() == parallel.samples.size();
+  for (std::size_t i = 0; identical && i < serial.samples.size(); ++i) {
+    identical = serial.samples[i].run == parallel.samples[i].run &&
+                serial.samples[i].mac == parallel.samples[i].mac &&
+                serial.samples[i].v_acc == parallel.samples[i].v_acc;
+  }
+  std::printf(
+      "== Monte Carlo fan-out: %d runs x %zu MAC values ==\n"
+      "  serial (1 thread):      %8.1f ms\n"
+      "  parallel (%d threads):  %8.1f ms  (used %d)\n"
+      "  speedup:                %8.2fx\n"
+      "  bit-identical samples:  %s\n\n",
+      mc.runs, mc.mac_values.size(), serial.job.wall_ms, threads,
+      parallel.job.wall_ms, parallel.job.threads_used,
+      serial.job.wall_ms / std::max(parallel.job.wall_ms, 1e-9),
+      identical ? "yes" : "NO");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int threads = strip_threads_flag(&argc, argv);
+  if (threads > 0) report_montecarlo_speedup(threads);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -76,8 +76,14 @@ int main(int argc, char** argv) {
     }
     std::printf("\n.dc %s %.3g -> %.3g step %.3g:\n", dc.source.c_str(),
                 dc.start, dc.stop, dc.step);
-    const auto points = dc_sweep_vsource(circuit, *src, dc.start, dc.stop,
-                                         dc.step, temp);
+    SweepSpec spec;
+    spec.values = linspace_step(dc.start, dc.stop, dc.step);
+    spec.apply = [name = dc.source](Circuit& c, double v) {
+      static_cast<VSource*>(c.find(name))->set_dc(v);
+    };
+    spec.continuation = true;  // warm-start along the source value
+    spec.temperature_c = temp;
+    const auto points = run_sweep(circuit, spec);
     std::printf("  %-10s", dc.source.c_str());
     std::vector<std::string> nodes;
     for (const auto& [node, volts] : points.front().op.voltages) {

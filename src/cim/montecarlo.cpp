@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "exec/stream.hpp"
 #include "util/rng.hpp"
 
 namespace sfc::cim {
@@ -42,10 +43,19 @@ std::vector<double> MonteCarloResult::errors() const {
   return e;
 }
 
+namespace {
+
+/// Everything one Monte Carlo run produces; merged in run order.
+struct RunOutcome {
+  std::vector<MonteCarloSample> samples;
+  bool converged = true;
+};
+
+}  // namespace
+
 MonteCarloResult run_montecarlo(const ArrayConfig& cfg,
                                 const MonteCarloConfig& mc) {
   const int n = cfg.cells_per_row;
-  CiMRow row(cfg);
   MonteCarloResult result;
 
   std::vector<int> macs = mc.mac_values;
@@ -61,13 +71,15 @@ MonteCarloResult run_montecarlo(const ArrayConfig& cfg,
 
   // Nominal (variation-free) levels first; they define both the reference
   // outputs and the level spacing that normalizes the error.
-  row.clear_vth_shifts();
-  row.set_stored(std::vector<int>(static_cast<std::size_t>(n), 1));
   std::vector<double> nominal(static_cast<std::size_t>(n) + 1, 0.0);
-  for (int k = 0; k <= n; ++k) {
-    MacResult r = row.evaluate(pattern_for(k), mc.temperature_c);
-    if (!r.converged) result.all_converged = false;
-    nominal[static_cast<std::size_t>(k)] = r.v_acc;
+  {
+    CiMRow row(cfg);
+    row.set_stored(std::vector<int>(static_cast<std::size_t>(n), 1));
+    for (int k = 0; k <= n; ++k) {
+      MacResult r = row.evaluate(pattern_for(k), mc.temperature_c);
+      if (!r.converged) result.all_converged = false;
+      nominal[static_cast<std::size_t>(k)] = r.v_acc;
+    }
   }
   result.nominal_levels = nominal;
   double spacing_sum = 0.0;
@@ -80,33 +92,53 @@ MonteCarloResult run_montecarlo(const ArrayConfig& cfg,
       std::fabs(nominal[static_cast<std::size_t>(n)] - nominal[0]);
   assert(result.level_spacing > 0.0);
 
-  util::Rng rng(mc.seed);
-  for (int run = 0; run < mc.runs; ++run) {
-    std::vector<double> fe_shifts(static_cast<std::size_t>(n));
-    std::vector<double> m1_shifts(static_cast<std::size_t>(n), 0.0);
-    std::vector<double> m2_shifts(static_cast<std::size_t>(n), 0.0);
-    for (auto& s : fe_shifts) s = rng.normal(0.0, mc.sigma_vt_fefet);
-    if (mc.sigma_vt_mosfet > 0.0) {
-      for (auto& s : m1_shifts) s = rng.normal(0.0, mc.sigma_vt_mosfet);
-      for (auto& s : m2_shifts) s = rng.normal(0.0, mc.sigma_vt_mosfet);
-    }
-    row.set_fefet_vth_shifts(fe_shifts);
-    row.set_mosfet_vth_shifts(m1_shifts, m2_shifts);
+  // Independent runs: run k draws from the counter-based stream
+  // (mc.seed, k) and simulates its own row replica, making each run a
+  // pure function of its index — the determinism contract of the header.
+  const auto outcomes = sfc::exec::parallel_map(
+      mc.exec, static_cast<std::size_t>(std::max(0, mc.runs)),
+      [&](std::size_t run_index) {
+        util::Rng rng = sfc::exec::stream_rng(mc.seed, run_index);
+        std::vector<double> fe_shifts(static_cast<std::size_t>(n));
+        std::vector<double> m1_shifts(static_cast<std::size_t>(n), 0.0);
+        std::vector<double> m2_shifts(static_cast<std::size_t>(n), 0.0);
+        for (auto& s : fe_shifts) s = rng.normal(0.0, mc.sigma_vt_fefet);
+        if (mc.sigma_vt_mosfet > 0.0) {
+          for (auto& s : m1_shifts) s = rng.normal(0.0, mc.sigma_vt_mosfet);
+          for (auto& s : m2_shifts) s = rng.normal(0.0, mc.sigma_vt_mosfet);
+        }
 
-    for (int k : macs) {
-      MacResult r = row.evaluate(pattern_for(k), mc.temperature_c);
-      if (!r.converged) {
-        result.all_converged = false;
-        continue;
-      }
-      MonteCarloSample s;
-      s.run = run;
-      s.mac = k;
-      s.v_acc = r.v_acc;
-      const double deviation =
-          std::fabs(r.v_acc - nominal[static_cast<std::size_t>(k)]);
-      s.error_percent = deviation / result.full_scale * 100.0;
-      s.error_levels = deviation / result.level_spacing;
+        CiMRow row(cfg);
+        row.set_stored(std::vector<int>(static_cast<std::size_t>(n), 1));
+        row.set_fefet_vth_shifts(fe_shifts);
+        row.set_mosfet_vth_shifts(m1_shifts, m2_shifts);
+
+        RunOutcome outcome;
+        outcome.samples.reserve(macs.size());
+        for (int k : macs) {
+          MacResult r = row.evaluate(pattern_for(k), mc.temperature_c);
+          if (!r.converged) {
+            outcome.converged = false;
+            continue;
+          }
+          MonteCarloSample s;
+          s.run = static_cast<int>(run_index);
+          s.mac = k;
+          s.v_acc = r.v_acc;
+          const double deviation =
+              std::fabs(r.v_acc - nominal[static_cast<std::size_t>(k)]);
+          s.error_percent = deviation / result.full_scale * 100.0;
+          s.error_levels = deviation / result.level_spacing;
+          outcome.samples.push_back(s);
+        }
+        return outcome;
+      },
+      &result.job);
+
+  // Merge in run order; aggregate statistics stay order-independent.
+  for (const auto& outcome : outcomes) {
+    if (!outcome.converged) result.all_converged = false;
+    for (const auto& s : outcome.samples) {
       result.max_error_percent =
           std::max(result.max_error_percent, s.error_percent);
       result.max_error_levels =
@@ -119,7 +151,6 @@ MonteCarloResult run_montecarlo(const ArrayConfig& cfg,
     for (const auto& s : result.samples) sum += s.error_percent;
     result.mean_error_percent = sum / static_cast<double>(result.samples.size());
   }
-  row.clear_vth_shifts();
   return result;
 }
 

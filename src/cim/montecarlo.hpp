@@ -1,12 +1,22 @@
 // Monte Carlo process-variation analysis (Fig. 9): Gaussian VTH
 // variability on every FeFET (and optionally on M1/M2), measuring how far
 // each MAC output moves relative to the nominal level spacing.
+//
+// Determinism contract
+// --------------------
+// Run k draws its device-variation vector from the counter-based stream
+// exec::stream_seed(seed, k) and simulates a private row replica, so the
+// samples are a pure function of (cfg, mc) alone: the same `seed` yields
+// bit-identical MonteCarloResult samples regardless of `exec.threads`,
+// chunking, or scheduling. Threads only change wall-clock time (see
+// MonteCarloResult::job).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "cim/array.hpp"
+#include "exec/parallel.hpp"
 
 namespace sfc::cim {
 
@@ -18,6 +28,9 @@ struct MonteCarloConfig {
   std::uint64_t seed = 0x5eed2024;
   /// MAC values to exercise each run; empty = all 0..n.
   std::vector<int> mac_values;
+  /// Fan-out of the independent runs (default: serial). Any thread count
+  /// produces bit-identical samples — see the header comment.
+  sfc::exec::ExecPolicy exec;
 };
 
 /// Global process corner: die-to-die shifts applied to every device on
@@ -59,6 +72,8 @@ struct MonteCarloResult {
   /// the wrong MAC for that sample).
   double max_error_levels = 0.0;
   bool all_converged = true;
+  /// Wall time and per-run timings of the Monte Carlo fan-out.
+  sfc::exec::JobReport job;
 
   std::vector<double> errors() const;
 };

@@ -29,6 +29,10 @@ class Diode : public sfc::spice::Device {
     return {anode_, cathode_};
   }
 
+  std::unique_ptr<sfc::spice::Device> clone() const override {
+    return std::unique_ptr<sfc::spice::Device>(new Diode(*this));
+  }
+
   /// I(V) evaluation for tests.
   double current(double v_anode_cathode, double temperature_c) const;
 

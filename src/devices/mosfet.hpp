@@ -69,6 +69,10 @@ class Mosfet : public sfc::spice::Device {
     return {drain_, gate_, source_};
   }
 
+  std::unique_ptr<sfc::spice::Device> clone() const override {
+    return std::unique_ptr<sfc::spice::Device>(new Mosfet(*this));
+  }
+
   const MosfetParams& params() const { return params_; }
   MosfetParams& mutable_params() { return params_; }
 

@@ -1,0 +1,29 @@
+#include "exec/stream.hpp"
+
+namespace sfc::exec {
+namespace {
+
+/// splitmix64 finalizer: a full-avalanche 64-bit mix.
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t index) {
+  // Two mix rounds over (seed, index) with distinct odd constants; a
+  // single round would leave low-entropy (seed, small index) pairs too
+  // correlated for Box-Muller pair consumption downstream.
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = mix64(z);
+  z = mix64(z ^ (index * 0xda942042e4dd58b5ULL));
+  return z;
+}
+
+util::Rng stream_rng(std::uint64_t seed, std::uint64_t index) {
+  return util::Rng(stream_seed(seed, index));
+}
+
+}  // namespace sfc::exec

@@ -1,0 +1,26 @@
+// Counter-based RNG stream splitting for parallel jobs.
+//
+// Every task of a fan-out derives its private random stream from
+// (job seed, task index) — never from thread identity or submission
+// order — so a job produces bit-identical random draws at any thread
+// count and under any scheduling. This is the determinism keystone of
+// sfc::exec: Monte Carlo run k always sees stream_seed(seed, k) whether
+// it executes on 1 thread or 64.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace sfc::exec {
+
+/// Seed of task `index`'s private stream, mixed from the job seed with a
+/// splitmix64-style finalizer. Distinct indices give statistically
+/// independent streams; the map is pure, so it can be evaluated from any
+/// thread in any order.
+std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t index);
+
+/// Ready-to-use RNG for task `index` of a job.
+util::Rng stream_rng(std::uint64_t seed, std::uint64_t index);
+
+}  // namespace sfc::exec

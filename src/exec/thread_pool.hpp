@@ -1,0 +1,54 @@
+// Fixed-size thread pool with one shared FIFO queue (no work stealing:
+// workers only pull from the front of the common queue, which keeps the
+// scheduling model trivial to reason about — determinism never depends on
+// it anyway, because sfc::exec tasks derive everything from their index).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sfc::exec {
+
+class ThreadPool {
+ public:
+  /// Spawns exactly `threads` workers (clamped to >= 1).
+  explicit ThreadPool(int threads);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueue a task. Throws std::runtime_error after shutdown().
+  void submit(std::function<void()> task);
+
+  /// Block until the queue is empty and no task is running.
+  void wait_idle();
+
+  /// Stop accepting work, finish the queued tasks, join the workers.
+  /// Idempotent; also called by the destructor.
+  void shutdown();
+
+  /// Hardware concurrency with a sane floor of 1.
+  static int hardware_threads();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< signalled on submit/shutdown
+  std::condition_variable idle_cv_;  ///< signalled when work drains
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t active_ = 0;  ///< tasks currently executing
+  bool stopping_ = false;
+};
+
+}  // namespace sfc::exec

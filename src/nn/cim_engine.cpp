@@ -4,6 +4,9 @@
 #include <bit>
 #include <span>
 #include <cassert>
+#include <vector>
+
+#include "exec/stream.hpp"
 
 namespace sfc::nn {
 namespace {
@@ -37,7 +40,7 @@ std::uint64_t weight_fingerprint(std::span<const std::int8_t> w) {
 
 CimDotEngine::CimDotEngine(const sfc::cim::BehavioralArrayModel& model,
                            Options opts)
-    : model_(model), opts_(opts), noise_rng_(opts.noise_seed) {
+    : model_(model), opts_(opts) {
   assert(model_.cells() == 8 && "bit-serial mapping expects 8-cell rows");
   assert(opts.activation_bits >= 2 && opts.activation_bits <= 8);
   assert(opts.weight_bits >= 2 && opts.weight_bits <= 8);
@@ -88,42 +91,8 @@ const CimDotEngine::WeightPlanes& CimDotEngine::planes_for(
   return plane_cache_.insert_or_assign(key, std::move(planes)).first->second;
 }
 
-std::int64_t CimDotEngine::binary_dot(const std::uint64_t* a_plane,
-                                      const std::uint64_t* w_plane,
-                                      std::size_t words) {
-  std::int64_t total = 0;
-  if (!any_miscount_ && !opts_.with_variation_noise) {
-    // Fast path: every MAC count decodes exactly, so the row result equals
-    // the true popcount.
-    for (std::size_t i = 0; i < words; ++i) {
-      total += std::popcount(a_plane[i] & w_plane[i]);
-    }
-    return total;
-  }
-  for (std::size_t i = 0; i < words; ++i) {
-    std::uint64_t counts = byte_popcounts(a_plane[i] & w_plane[i]);
-    for (int b = 0; b < 8; ++b) {
-      const int true_count = static_cast<int>(counts & 0xff);
-      counts >>= 8;
-      int digital;
-      if (opts_.with_variation_noise) {
-        digital = model_.mac(true_count, opts_.temperature_c, &noise_rng_);
-      } else {
-        digital = decoded_[true_count];
-      }
-      if (digital != true_count) ++row_errors_;
-      total += digital;
-    }
-  }
-  return total;
-}
-
-std::int64_t CimDotEngine::dot(std::span<const std::uint8_t> a,
-                               std::span<const std::int8_t> w) {
-  assert(a.size() == w.size());
+void CimDotEngine::pack_activations(std::span<const std::uint8_t> a) {
   const std::size_t words = (a.size() + 63) / 64;
-
-  // Pack activation bit-planes.
   if (a_words_ != words) {
     a_planes_.assign(static_cast<std::size_t>(act_bits_) * words, 0);
     a_words_ = words;
@@ -141,24 +110,120 @@ std::int64_t CimDotEngine::dot(std::span<const std::uint8_t> a,
       }
     }
   }
+}
 
-  const WeightPlanes& wp = planes_for(w);
-  assert(wp.words == words);
-  const auto groups = static_cast<std::int64_t>((a.size() + 7) / 8);
+std::int64_t CimDotEngine::binary_dot(const std::uint64_t* a_plane,
+                                      const std::uint64_t* w_plane,
+                                      std::size_t words, sfc::util::Rng* rng,
+                                      std::int64_t* errors) const {
+  std::int64_t total = 0;
+  if (!any_miscount_ && rng == nullptr) {
+    // Fast path: every MAC count decodes exactly, so the row result equals
+    // the true popcount.
+    for (std::size_t i = 0; i < words; ++i) {
+      total += std::popcount(a_plane[i] & w_plane[i]);
+    }
+    return total;
+  }
+  for (std::size_t i = 0; i < words; ++i) {
+    std::uint64_t counts = byte_popcounts(a_plane[i] & w_plane[i]);
+    for (int b = 0; b < 8; ++b) {
+      const int true_count = static_cast<int>(counts & 0xff);
+      counts >>= 8;
+      int digital;
+      if (rng != nullptr) {
+        digital = model_.mac(true_count, opts_.temperature_c, rng);
+      } else {
+        digital = decoded_[true_count];
+      }
+      if (digital != true_count) ++*errors;
+      total += digital;
+    }
+  }
+  return total;
+}
 
+std::int64_t CimDotEngine::row_result(const WeightPlanes& wp,
+                                      sfc::util::Rng* rng,
+                                      std::int64_t* errors) const {
+  const std::size_t words = wp.words;
   std::int64_t result = 0;
   for (int p = 0; p < act_bits_; ++p) {
-    const std::uint64_t* ap = a_planes_.data() + static_cast<std::size_t>(p) * words;
+    const std::uint64_t* ap =
+        a_planes_.data() + static_cast<std::size_t>(p) * words;
     for (int q = 0; q < weight_mag_bits_; ++q) {
       const std::int64_t pos = binary_dot(
-          ap, wp.pos.data() + static_cast<std::size_t>(q) * words, words);
+          ap, wp.pos.data() + static_cast<std::size_t>(q) * words, words, rng,
+          errors);
       const std::int64_t neg = binary_dot(
-          ap, wp.neg.data() + static_cast<std::size_t>(q) * words, words);
+          ap, wp.neg.data() + static_cast<std::size_t>(q) * words, words, rng,
+          errors);
       result += ((pos - neg) << (p + q));
-      row_ops_ += 2 * groups;
     }
   }
   return result;
+}
+
+std::int64_t CimDotEngine::dot(std::span<const std::uint8_t> a,
+                               std::span<const std::int8_t> w) {
+  assert(a.size() == w.size());
+  pack_activations(a);
+  const WeightPlanes& wp = planes_for(w);
+  assert(wp.words == (a.size() + 63) / 64);
+
+  const std::uint64_t noise_row = next_noise_row_++;
+  std::int64_t errors = 0;
+  std::int64_t result;
+  if (opts_.with_variation_noise) {
+    sfc::util::Rng rng = sfc::exec::stream_rng(opts_.noise_seed, noise_row);
+    result = row_result(wp, &rng, &errors);
+  } else {
+    result = row_result(wp, nullptr, &errors);
+  }
+  row_errors_ += errors;
+  row_ops_ += static_cast<std::int64_t>(act_bits_) * weight_mag_bits_ * 2 *
+              static_cast<std::int64_t>((a.size() + 7) / 8);
+  return result;
+}
+
+void CimDotEngine::dot_batch(std::span<const std::uint8_t> a,
+                             std::span<const std::int8_t> weights,
+                             std::size_t row_stride, std::size_t rows,
+                             std::int64_t* out) {
+  if (rows == 0) return;
+  assert(weights.size() >= (rows - 1) * row_stride + a.size());
+  pack_activations(a);
+
+  // The plane cache is shared mutable state, so resolve every row's planes
+  // serially up front; references into the unordered_map stay valid while
+  // the parallel tasks only read them.
+  std::vector<const WeightPlanes*> row_planes(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    row_planes[r] = &planes_for(weights.subspan(r * row_stride, a.size()));
+  }
+
+  // Noise streams are named by a monotonic row counter, never by thread:
+  // batch row r draws from stream (noise_seed, base + r), so serial and
+  // parallel evaluation produce bit-identical results.
+  const std::uint64_t noise_base = next_noise_row_;
+  next_noise_row_ += rows;
+
+  std::vector<std::int64_t> errors(rows, 0);
+  sfc::exec::parallel_for(opts_.exec, rows, [&](std::size_t r) {
+    std::int64_t err = 0;
+    if (opts_.with_variation_noise) {
+      sfc::util::Rng rng =
+          sfc::exec::stream_rng(opts_.noise_seed, noise_base + r);
+      out[r] = row_result(*row_planes[r], &rng, &err);
+    } else {
+      out[r] = row_result(*row_planes[r], nullptr, &err);
+    }
+    errors[r] = err;
+  });
+
+  for (std::size_t r = 0; r < rows; ++r) row_errors_ += errors[r];
+  row_ops_ += static_cast<std::int64_t>(rows) * act_bits_ * weight_mag_bits_ *
+              2 * static_cast<std::int64_t>((a.size() + 7) / 8);
 }
 
 }  // namespace sfc::nn

@@ -19,6 +19,7 @@
 #include <unordered_map>
 
 #include "cim/behavioral.hpp"
+#include "exec/parallel.hpp"
 #include "nn/quantize.hpp"
 
 namespace sfc::nn {
@@ -34,12 +35,19 @@ class CimDotEngine final : public DotEngine {
     /// with): unsigned activation bits and signed weight bits incl. sign.
     int activation_bits = 8;
     int weight_bits = 8;
+    /// Fan-out of dot_batch row evaluation (default: serial). Noise draws
+    /// come from counter-based per-row streams, so any thread count yields
+    /// bit-identical results for the same call sequence.
+    sfc::exec::ExecPolicy exec;
   };
 
   CimDotEngine(const sfc::cim::BehavioralArrayModel& model, Options opts);
 
   std::int64_t dot(std::span<const std::uint8_t> a,
                    std::span<const std::int8_t> w) override;
+  void dot_batch(std::span<const std::uint8_t> a,
+                 std::span<const std::int8_t> weights, std::size_t row_stride,
+                 std::size_t rows, std::int64_t* out) override;
   void begin_layer(int layer_index) override;
 
   /// Number of 8-cell row operations issued so far (energy accounting).
@@ -63,12 +71,24 @@ class CimDotEngine final : public DotEngine {
   };
 
   const WeightPlanes& planes_for(std::span<const std::int8_t> w);
+  void pack_activations(std::span<const std::uint8_t> a);
+  /// One binary dot product; `rng` non-null draws per-group noise, and
+  /// decode misses are tallied into *errors. Const + reentrant so batched
+  /// rows can run concurrently.
   std::int64_t binary_dot(const std::uint64_t* a_plane,
-                          const std::uint64_t* w_plane, std::size_t words);
+                          const std::uint64_t* w_plane, std::size_t words,
+                          sfc::util::Rng* rng, std::int64_t* errors) const;
+  /// Full shift-add over all (activation, weight) plane pairs of one row
+  /// against the currently packed activations.
+  std::int64_t row_result(const WeightPlanes& wp, sfc::util::Rng* rng,
+                          std::int64_t* errors) const;
 
   const sfc::cim::BehavioralArrayModel& model_;
   Options opts_;
-  sfc::util::Rng noise_rng_;
+  /// Monotonic counter naming the noise stream of each dot-product row:
+  /// row i of the engine's lifetime draws from stream (noise_seed, i),
+  /// independent of which thread evaluates it.
+  std::uint64_t next_noise_row_ = 0;
   std::int64_t row_ops_ = 0;
   std::int64_t row_errors_ = 0;
 

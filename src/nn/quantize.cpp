@@ -67,6 +67,16 @@ std::vector<std::int8_t> quantize_weights(const Tensor& w, int magnitude_max,
 
 }  // namespace
 
+void DotEngine::dot_batch(std::span<const std::uint8_t> a,
+                          std::span<const std::int8_t> weights,
+                          std::size_t row_stride, std::size_t rows,
+                          std::int64_t* out) {
+  assert(rows == 0 || weights.size() >= (rows - 1) * row_stride + a.size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    out[r] = dot(a, weights.subspan(r * row_stride, a.size()));
+  }
+}
+
 std::int64_t IdealDotEngine::dot(std::span<const std::uint8_t> a,
                                  std::span<const std::int8_t> w) {
   assert(a.size() == w.size());
@@ -252,7 +262,7 @@ Tensor QuantizedNetwork::forward(const sfc::data::Image& img,
           static_cast<std::size_t>(gout.c) * gout.h * gout.w, 0);
       const int patch_len = op.in_channels * op.kernel * op.kernel;
       patch.assign(static_cast<std::size_t>(patch_len), 0);
-      std::vector<float> pre(static_cast<std::size_t>(gout.c));
+      std::vector<std::int64_t> dots(static_cast<std::size_t>(gout.c));
       for (int oy = 0; oy < gout.h; ++oy) {
         for (int ox = 0; ox < gout.w; ++ox) {
           // Gather the (zero-padded) input patch once per pixel.
@@ -269,21 +279,22 @@ Tensor QuantizedNetwork::forward(const sfc::data::Image& img,
               }
             }
           }
+          // One batched call per pixel: every output channel reads the same
+          // patch, so engines can evaluate the rows in parallel.
+          engine.dot_batch(
+              patch,
+              std::span<const std::int8_t>(op.weight.data(), op.weight.size()),
+              static_cast<std::size_t>(patch_len),
+              static_cast<std::size_t>(gout.c), dots.data());
           for (int oc = 0; oc < gout.c; ++oc) {
-            const std::int64_t idot = engine.dot(
-                patch, std::span<const std::int8_t>(
-                           op.weight.data() +
-                               static_cast<std::size_t>(oc) *
-                                   static_cast<std::size_t>(patch_len),
-                           static_cast<std::size_t>(patch_len)));
-            float y = static_cast<float>(idot) * a_scale * op.w_scale +
+            float y = static_cast<float>(dots[static_cast<std::size_t>(oc)]) *
+                          a_scale * op.w_scale +
                       op.bias[static_cast<std::size_t>(oc)];
             if (op.relu && y < 0.0f) y = 0.0f;
             next[static_cast<std::size_t>((oc * gout.h + oy) * gout.w + ox)] =
                 static_cast<std::uint8_t>(std::clamp(
                     std::lround(y / op.act_out_scale), 0L, act_levels));
           }
-          (void)pre;
         }
       }
       act = std::move(next);
@@ -292,14 +303,15 @@ Tensor QuantizedNetwork::forward(const sfc::data::Image& img,
       std::vector<std::uint8_t> next(static_cast<std::size_t>(op.out_features),
                                      0);
       if (last) logits.assign(static_cast<std::size_t>(op.out_features), 0.0f);
+      std::vector<std::int64_t> dots(static_cast<std::size_t>(op.out_features));
+      engine.dot_batch(
+          std::span<const std::uint8_t>(act.data(), act.size()),
+          std::span<const std::int8_t>(op.weight.data(), op.weight.size()),
+          static_cast<std::size_t>(op.in_features),
+          static_cast<std::size_t>(op.out_features), dots.data());
       for (int o = 0; o < op.out_features; ++o) {
-        const std::int64_t idot = engine.dot(
-            std::span<const std::uint8_t>(act.data(), act.size()),
-            std::span<const std::int8_t>(
-                op.weight.data() + static_cast<std::size_t>(o) *
-                                       static_cast<std::size_t>(op.in_features),
-                static_cast<std::size_t>(op.in_features)));
-        float y = static_cast<float>(idot) * a_scale * op.w_scale +
+        float y = static_cast<float>(dots[static_cast<std::size_t>(o)]) *
+                      a_scale * op.w_scale +
                   op.bias[static_cast<std::size_t>(o)];
         if (op.relu && y < 0.0f) y = 0.0f;
         if (last) {

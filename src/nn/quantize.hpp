@@ -26,6 +26,15 @@ class DotEngine {
   virtual ~DotEngine() = default;
   virtual std::int64_t dot(std::span<const std::uint8_t> a,
                            std::span<const std::int8_t> w) = 0;
+  /// Evaluate `rows` dot products that share one activation vector: row r
+  /// uses weights[r * row_stride .. r * row_stride + a.size()). Writes one
+  /// result per row into `out`. This is the layer-level hot loop (all
+  /// output channels of a conv pixel / all neurons of a dense layer), so
+  /// engines may parallelize it; the default is a serial dot() loop.
+  virtual void dot_batch(std::span<const std::uint8_t> a,
+                         std::span<const std::int8_t> weights,
+                         std::size_t row_stride, std::size_t rows,
+                         std::int64_t* out);
   /// Called once per layer so engines can cache weight bit-planes.
   virtual void begin_layer(int layer_index) { (void)layer_index; }
 };

@@ -49,6 +49,21 @@ const Device* Circuit::find(const std::string& name) const {
   return it == device_index_.end() ? nullptr : it->second;
 }
 
+Circuit Circuit::clone() const {
+  Circuit copy;
+  copy.node_names_ = node_names_;
+  copy.node_index_ = node_index_;
+  copy.num_aux_ = num_aux_;
+  copy.finalized_ = finalized_;
+  copy.devices_.reserve(devices_.size());
+  for (const auto& dev : devices_) {
+    auto dup = dev->clone();
+    copy.device_index_.emplace(dup->name(), dup.get());
+    copy.devices_.push_back(std::move(dup));
+  }
+  return copy;
+}
+
 void Circuit::finalize() {
   num_aux_ = 0;
   for (auto& dev : devices_) {

@@ -50,6 +50,12 @@ class Circuit {
     return devices_;
   }
 
+  /// Deep copy: same node registry, every device cloned with its full
+  /// runtime state. Solves mutate device state (capacitor history,
+  /// transient bookkeeping), so parallel sweeps give each worker its own
+  /// clone instead of sharing this circuit.
+  Circuit clone() const;
+
   /// Assign auxiliary-variable slots. Called automatically by the engine;
   /// idempotent. New devices may be added afterwards (re-finalizes).
   void finalize();

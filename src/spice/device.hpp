@@ -6,6 +6,7 @@
 // where x = [node voltages | auxiliary branch currents].
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -122,10 +123,14 @@ class Device {
   explicit Device(std::string name) : name_(std::move(name)) {}
   virtual ~Device() = default;
 
-  Device(const Device&) = delete;
   Device& operator=(const Device&) = delete;
 
   const std::string& name() const { return name_; }
+
+  /// Deep copy including all runtime state (capacitor history,
+  /// polarization, threshold shifts). Circuit::clone() uses this so
+  /// parallel sweeps can solve independent replicas of one circuit.
+  virtual std::unique_ptr<Device> clone() const = 0;
 
   /// Number of auxiliary (branch-current) variables this device needs.
   virtual int num_aux() const { return 0; }
@@ -182,6 +187,10 @@ class Device {
   virtual std::vector<NodeId> terminals() const = 0;
 
  protected:
+  /// Copying is reserved for subclass clone() implementations; keeping it
+  /// protected prevents accidental slicing through the base class.
+  Device(const Device&) = default;
+
   /// Helper for subclasses: voltage difference v(a) - v(b).
   static double vdiff(const Stamper& s, NodeId a, NodeId b) {
     return s.v(a) - s.v(b);

@@ -19,6 +19,10 @@ class Resistor final : public Device {
   double resistance() const { return ohms_; }
   void set_resistance(double ohms);
 
+  std::unique_ptr<Device> clone() const override {
+    return std::unique_ptr<Device>(new Resistor(*this));
+  }
+
  private:
   NodeId a_, b_;
   double ohms_;
@@ -47,6 +51,10 @@ class Capacitor final : public Device {
   /// Stored energy 0.5*C*V^2 at the last accepted step [J].
   double stored_energy() const { return 0.5 * farads_ * v_prev_ * v_prev_; }
 
+  std::unique_ptr<Device> clone() const override {
+    return std::unique_ptr<Device>(new Capacitor(*this));
+  }
+
  private:
   double vdiff_x(const std::vector<double>& x) const;
 
@@ -69,6 +77,10 @@ class Inductor final : public Device {
   void accept_step(const SimContext& ctx,
                    const std::vector<double>& x) override;
   std::vector<NodeId> terminals() const override { return {a_, b_}; }
+
+  std::unique_ptr<Device> clone() const override {
+    return std::unique_ptr<Device>(new Inductor(*this));
+  }
 
  private:
   NodeId a_, b_;
@@ -106,6 +118,10 @@ class VSource final : public Device {
   double branch_current(std::size_t num_nodes,
                         const std::vector<double>& x) const;
 
+  std::unique_ptr<Device> clone() const override {
+    return std::unique_ptr<Device>(new VSource(*this));
+  }
+
  private:
   NodeId plus_, minus_;
   Waveform waveform_;
@@ -127,6 +143,10 @@ class ISource final : public Device {
   std::vector<NodeId> terminals() const override { return {from_, to_}; }
 
   void set_dc(double amps) { waveform_ = Waveform::dc(amps); }
+
+  std::unique_ptr<Device> clone() const override {
+    return std::unique_ptr<Device>(new ISource(*this));
+  }
 
  private:
   NodeId from_, to_;
@@ -154,6 +174,10 @@ class VSwitch final : public Device {
   /// Conductance at a given control voltage (exposed for tests).
   double conductance_at(double v_ctrl) const;
 
+  std::unique_ptr<Device> clone() const override {
+    return std::unique_ptr<Device>(new VSwitch(*this));
+  }
+
  private:
   NodeId a_, b_, ctrl_;
   Params p_;
@@ -174,6 +198,10 @@ class Vccs final : public Device {
 
   double transconductance() const { return gm_; }
 
+  std::unique_ptr<Device> clone() const override {
+    return std::unique_ptr<Device>(new Vccs(*this));
+  }
+
  private:
   NodeId out_p_, out_n_, ctrl_p_, ctrl_n_;
   double gm_;
@@ -191,6 +219,10 @@ class Vcvs final : public Device {
   void stamp_ac(const SimContext& ctx, AcStamper& s) override;
   std::vector<NodeId> terminals() const override {
     return {out_p_, out_n_, ctrl_p_, ctrl_n_};
+  }
+
+  std::unique_ptr<Device> clone() const override {
+    return std::unique_ptr<Device>(new Vcvs(*this));
   }
 
  private:

@@ -28,24 +28,106 @@ std::vector<double> linspace_count(double lo, double hi, std::size_t n) {
   return values;
 }
 
+namespace {
+
+/// Continuation sweeps warm-start each point from the previous solution,
+/// making point k depend on point k-1: a strictly serial recurrence on
+/// the original circuit (exactly the historical dc_sweep behaviour).
+std::vector<SweepPoint> run_continuation_sweep(Circuit& circuit,
+                                               const SweepSpec& spec,
+                                               sfc::exec::JobReport* report) {
+  Engine engine(circuit, spec.temperature_c);
+  std::vector<SweepPoint> points;
+  points.reserve(spec.values.size());
+  sfc::exec::JobReport job;
+  job.tasks = spec.values.size();
+  job.task_ms.assign(spec.values.size(), 0.0);
+  const auto job_t0 = sfc::exec::detail::Clock::now();
+  std::vector<double> warm;
+  for (std::size_t i = 0; i < spec.values.size(); ++i) {
+    const double value = spec.values[i];
+    const auto t0 = sfc::exec::detail::Clock::now();
+    if (spec.apply) spec.apply(circuit, value);
+    SweepPoint p;
+    p.value = value;
+    p.op = engine.dc_operating_point(spec.options,
+                                     warm.empty() ? nullptr : &warm);
+    if (p.op.converged) {
+      warm = p.op.x;
+      ++job.converged;
+    } else {
+      ++job.failed;
+    }
+    job.task_ms[i] = sfc::exec::detail::ms_since(t0);
+    points.push_back(std::move(p));
+  }
+  job.wall_ms = sfc::exec::detail::ms_since(job_t0);
+  if (report) *report = std::move(job);
+  return points;
+}
+
+}  // namespace
+
+std::vector<SweepPoint> run_sweep(Circuit& circuit, const SweepSpec& spec,
+                                  const sfc::exec::ExecPolicy& exec,
+                                  sfc::exec::JobReport* report) {
+  if (spec.continuation) {
+    return run_continuation_sweep(circuit, spec, report);
+  }
+  // Independent points: every point solves a private clone — also in the
+  // serial case, so the result never depends on the thread count (device
+  // state mutated by one solve cannot leak into another point).
+  sfc::exec::JobReport job;
+  auto points = sfc::exec::parallel_map(
+      exec, spec.values.size(),
+      [&](std::size_t i) {
+        const double value = spec.values[i];
+        Circuit local = circuit.clone();
+        double temperature = spec.temperature_c;
+        if (spec.apply) {
+          spec.apply(local, value);
+        } else {
+          temperature = value;  // temperature sweep
+        }
+        Engine engine(local, temperature);
+        SweepPoint p;
+        p.value = value;
+        p.op = engine.dc_operating_point(spec.options);
+        return p;
+      },
+      &job);
+  // Re-count convergence from the solver outcome (parallel_map's functor
+  // returns a value, so every completed task counted as "converged").
+  job.converged = 0;
+  job.failed = 0;
+  for (const auto& p : points) {
+    if (p.op.converged) {
+      ++job.converged;
+    } else {
+      ++job.failed;
+    }
+  }
+  if (report) *report = std::move(job);
+  return points;
+}
+
+// Legacy wrappers delegate to run_sweep; the deprecation attributes on
+// their declarations would otherwise warn on these definitions too.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 std::vector<SweepPoint> dc_sweep(Circuit& circuit,
                                  const std::vector<double>& values,
                                  const std::function<void(double)>& apply,
                                  double temperature_c,
                                  const NewtonOptions& options) {
-  Engine engine(circuit, temperature_c);
-  std::vector<SweepPoint> points;
-  points.reserve(values.size());
-  std::vector<double> warm;
-  for (double value : values) {
-    apply(value);
-    SweepPoint p;
-    p.value = value;
-    p.op = engine.dc_operating_point(options, warm.empty() ? nullptr : &warm);
-    if (p.op.converged) warm = p.op.x;
-    points.push_back(std::move(p));
-  }
-  return points;
+  SweepSpec spec;
+  spec.values = values;
+  spec.apply = [&apply](Circuit& /*unused*/, double v) { apply(v); };
+  spec.continuation = true;
+  spec.temperature_c = temperature_c;
+  spec.options = options;
+  return run_sweep(circuit, spec);
 }
 
 std::vector<SweepPoint> dc_sweep_vsource(Circuit& circuit, VSource& source,
@@ -60,16 +142,12 @@ std::vector<SweepPoint> dc_sweep_vsource(Circuit& circuit, VSource& source,
 std::vector<SweepPoint> temperature_sweep(Circuit& circuit,
                                           const std::vector<double>& temps_c,
                                           const NewtonOptions& options) {
-  std::vector<SweepPoint> points;
-  points.reserve(temps_c.size());
-  for (double t : temps_c) {
-    Engine engine(circuit, t);
-    SweepPoint p;
-    p.value = t;
-    p.op = engine.dc_operating_point(options);
-    points.push_back(std::move(p));
-  }
-  return points;
+  SweepSpec spec;
+  spec.values = temps_c;
+  spec.options = options;
+  return run_sweep(circuit, spec);
 }
+
+#pragma GCC diagnostic pop
 
 }  // namespace sfc::spice

@@ -1,11 +1,25 @@
-// DC sweep helpers with Newton continuation (each point warm-starts from
-// the previous solution), used for I-V characteristic extraction
-// (Fig. 1) and temperature sweeps.
+// Unified DC sweep API.
+//
+// One entry point — run_sweep(Circuit&, SweepSpec, ExecPolicy) — covers
+// the three historical sweep flavours:
+//   * source sweeps with Newton continuation (each point warm-starts from
+//     the previous solution; inherently serial),
+//   * generic parameter sweeps (apply() mutates the circuit per point),
+//   * temperature sweeps (no apply(): the swept value IS the solve
+//     temperature; points are independent and parallelize).
+//
+// Independent (continuation == false) sweeps always solve a fresh
+// Circuit::clone() per point — also at threads == 1 — so the result is a
+// pure function of (circuit, spec) and bit-identical at any thread count.
+// The legacy dc_sweep_vsource / dc_sweep / temperature_sweep signatures
+// remain as thin deprecated wrappers; see DESIGN.md ("Concurrency model &
+// API migration") for how to port callers.
 #pragma once
 
 #include <functional>
 #include <vector>
 
+#include "exec/parallel.hpp"
 #include "spice/engine.hpp"
 #include "spice/primitives.hpp"
 
@@ -16,15 +30,43 @@ struct SweepPoint {
   DcResult op;         ///< operating point at that value
 };
 
+/// Declarative description of a DC sweep.
+struct SweepSpec {
+  /// Swept parameter values, one solve per entry.
+  std::vector<double> values;
+  /// Mutates the circuit before a point's solve. In continuation mode it
+  /// receives the original circuit; otherwise each point's private clone
+  /// (look devices up by name, e.g. circuit.find("V1")). When absent, the
+  /// swept value is interpreted as the solve temperature [degC].
+  std::function<void(Circuit&, double)> apply;
+  /// Warm-start each Newton solve from the previous point's solution (the
+  /// classic I-V continuation trick). Points become order-dependent, so
+  /// the sweep runs serially on the original circuit regardless of the
+  /// ExecPolicy.
+  bool continuation = false;
+  /// Solve temperature [degC]; ignored when `apply` is absent (the swept
+  /// value takes its place).
+  double temperature_c = 27.0;
+  NewtonOptions options;
+};
+
+/// Run the sweep. Points that fail to converge are still returned with
+/// op.converged == false. `report` (optional) receives per-point wall
+/// times and convergence counts.
+std::vector<SweepPoint> run_sweep(Circuit& circuit, const SweepSpec& spec,
+                                  const sfc::exec::ExecPolicy& exec = {},
+                                  sfc::exec::JobReport* report = nullptr);
+
 /// Sweep the DC level of a voltage source from `lo` to `hi` inclusive in
-/// increments of `step` (the source's waveform is replaced). Points that
-/// fail to converge are still returned with op.converged = false.
+/// increments of `step` (the source's waveform is replaced).
+[[deprecated("use run_sweep(circuit, SweepSpec{...}) instead")]]
 std::vector<SweepPoint> dc_sweep_vsource(Circuit& circuit, VSource& source,
                                          double lo, double hi, double step,
                                          double temperature_c,
                                          const NewtonOptions& options = {});
 
 /// Generic sweep: `apply(value)` mutates the circuit before each solve.
+[[deprecated("use run_sweep(circuit, SweepSpec{...}) instead")]]
 std::vector<SweepPoint> dc_sweep(Circuit& circuit,
                                  const std::vector<double>& values,
                                  const std::function<void(double)>& apply,
@@ -33,6 +75,8 @@ std::vector<SweepPoint> dc_sweep(Circuit& circuit,
 
 /// Temperature sweep of a fixed circuit (no continuation across points —
 /// device nonlinearity changes with T, so a fresh solve is safer).
+[[deprecated(
+    "use run_sweep(circuit, SweepSpec{.values = temps_c}) instead")]]
 std::vector<SweepPoint> temperature_sweep(Circuit& circuit,
                                           const std::vector<double>& temps_c,
                                           const NewtonOptions& options = {});

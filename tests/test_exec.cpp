@@ -1,0 +1,237 @@
+// sfc::exec subsystem: thread pool lifecycle, parallel_for/parallel_map
+// semantics, counter-based RNG streams, and the end-to-end determinism
+// contract (serial vs parallel Monte Carlo and sweeps bit-identical).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "cim/behavioral.hpp"
+#include "cim/montecarlo.hpp"
+#include "exec/parallel.hpp"
+#include "exec/stream.hpp"
+#include "exec/thread_pool.hpp"
+#include "nn/cim_engine.hpp"
+#include "spice/primitives.hpp"
+#include "spice/sweep.hpp"
+
+namespace sfc::exec {
+namespace {
+
+TEST(StreamSeed, DeterministicAndDistinct) {
+  EXPECT_EQ(stream_seed(42, 0), stream_seed(42, 0));
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 1000; ++i) seeds.insert(stream_seed(42, i));
+  EXPECT_EQ(seeds.size(), 1000u);
+  // Different master seeds give different streams for the same index.
+  EXPECT_NE(stream_seed(1, 7), stream_seed(2, 7));
+}
+
+TEST(StreamRng, SameStreamSameDraws) {
+  util::Rng a = stream_rng(99, 3);
+  util::Rng b = stream_rng(99, 3);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.normal(0.0, 1.0), b.normal(0.0, 1.0));
+  }
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.shutdown();
+  pool.shutdown();  // second call must be a no-op
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+}
+
+TEST(ParallelFor, EmptyRange) {
+  std::atomic<int> count{0};
+  const JobReport report =
+      parallel_for(ExecPolicy{4, 0}, 0, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 0);
+  EXPECT_EQ(report.tasks, 0u);
+}
+
+TEST(ParallelFor, SingleElement) {
+  std::atomic<int> count{0};
+  parallel_for(ExecPolicy{4, 0}, 1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++count;
+  });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelFor, OddSizeVisitsEachIndexExactlyOnce) {
+  constexpr std::size_t n = 17;
+  for (int threads : {1, 2, 3, 8}) {
+    std::vector<std::atomic<int>> visits(n);
+    const JobReport report = parallel_for(
+        ExecPolicy{threads, 2}, n,
+        [&](std::size_t i) { visits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(visits[i].load(), 1) << "index " << i << ", " << threads
+                                     << " threads";
+    }
+    EXPECT_EQ(report.tasks, n);
+    EXPECT_EQ(report.task_ms.size(), n);
+  }
+}
+
+TEST(ParallelFor, TalliesConvergedAndFailed) {
+  // A bool-returning body feeds the converged / failed counters.
+  const JobReport report = parallel_for(
+      ExecPolicy{2, 0}, 10, [](std::size_t i) { return i % 2 == 0; });
+  EXPECT_EQ(report.converged, 5u);
+  EXPECT_EQ(report.failed, 5u);
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  for (int threads : {1, 3}) {
+    EXPECT_THROW(
+        parallel_for(ExecPolicy{threads, 0}, 8,
+                     [](std::size_t i) {
+                       if (i == 5) throw std::runtime_error("boom");
+                     }),
+        std::runtime_error)
+        << threads << " threads";
+  }
+}
+
+TEST(ParallelMap, PreservesIndexOrder) {
+  for (int threads : {1, 4}) {
+    JobReport report;
+    const std::vector<int> out = parallel_map(
+        ExecPolicy{threads, 1}, 9,
+        [](std::size_t i) { return static_cast<int>(i * i); }, &report);
+    ASSERT_EQ(out.size(), 9u);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i], static_cast<int>(i * i));
+    }
+    EXPECT_EQ(report.tasks, 9u);
+  }
+}
+
+TEST(ExecPolicy, ResolvesThreadsAndChunks) {
+  EXPECT_EQ(ExecPolicy::serial().resolved_threads(100), 1);
+  EXPECT_EQ((ExecPolicy{4, 0}).resolved_threads(2), 2);  // never > n
+  EXPECT_GE(ExecPolicy::max_parallel().resolved_threads(100), 1);
+  EXPECT_EQ((ExecPolicy{2, 5}).resolved_chunk(100, 2), 5u);
+  EXPECT_GE((ExecPolicy{2, 0}).resolved_chunk(100, 2), 1u);
+}
+
+TEST(Determinism, MonteCarloBitIdenticalAcrossThreadCounts) {
+  cim::MonteCarloConfig mc;
+  mc.runs = 3;
+  mc.sigma_vt_fefet = 0.054;
+  mc.mac_values = {0, 4, 8};
+  const cim::ArrayConfig cfg = cim::ArrayConfig::proposed_2t1fefet();
+
+  mc.exec.threads = 1;
+  const cim::MonteCarloResult serial = cim::run_montecarlo(cfg, mc);
+  ASSERT_FALSE(serial.samples.empty());
+
+  for (int threads : {2, 8}) {
+    mc.exec.threads = threads;
+    const cim::MonteCarloResult parallel = cim::run_montecarlo(cfg, mc);
+    ASSERT_EQ(parallel.samples.size(), serial.samples.size());
+    for (std::size_t i = 0; i < serial.samples.size(); ++i) {
+      EXPECT_EQ(parallel.samples[i].run, serial.samples[i].run);
+      EXPECT_EQ(parallel.samples[i].mac, serial.samples[i].mac);
+      EXPECT_EQ(parallel.samples[i].v_acc, serial.samples[i].v_acc)
+          << "sample " << i << ", " << threads << " threads";
+    }
+    EXPECT_EQ(parallel.max_error_percent, serial.max_error_percent);
+    EXPECT_EQ(parallel.mean_error_percent, serial.mean_error_percent);
+    EXPECT_EQ(parallel.job.threads_used, std::min(threads, mc.runs));
+  }
+}
+
+TEST(Determinism, DotBatchBitIdenticalAcrossThreadCounts) {
+  cim::MonteCarloConfig mc;
+  mc.runs = 4;
+  mc.sigma_vt_fefet = 0.054;
+  static const cim::BehavioralArrayModel model =
+      cim::BehavioralArrayModel::calibrate(
+          cim::ArrayConfig::proposed_2t1fefet(), {27.0}, &mc);
+
+  constexpr std::size_t len = 96;
+  constexpr std::size_t rows = 13;
+  util::Rng rng(7);
+  std::vector<std::uint8_t> a(len);
+  std::vector<std::int8_t> w(rows * len);
+  for (auto& v : a) v = static_cast<std::uint8_t>(rng.uniform_index(256));
+  for (auto& v : w) {
+    v = static_cast<std::int8_t>(static_cast<int>(rng.uniform_index(255)) -
+                                 127);
+  }
+
+  auto run = [&](int threads) {
+    nn::CimDotEngine::Options opts;
+    opts.with_variation_noise = true;  // exercises the per-row noise streams
+    opts.noise_seed = 11;
+    opts.exec.threads = threads;
+    nn::CimDotEngine engine(model, opts);
+    std::vector<std::int64_t> out(rows);
+    engine.dot_batch(a, w, len, rows, out.data());
+    engine.dot_batch(a, w, len, rows, out.data());  // second batch, new rows
+    return out;
+  };
+
+  const auto serial = run(1);
+  for (int threads : {2, 8}) {
+    EXPECT_EQ(run(threads), serial) << threads << " threads";
+  }
+}
+
+TEST(Determinism, SweepBitIdenticalAcrossThreadCounts) {
+  spice::Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto out = ckt.node("out");
+  ckt.add<spice::VSource>("V1", in, spice::kGround, 0.0);
+  ckt.add<spice::Resistor>("R1", in, out, 1e3);
+  ckt.add<spice::Resistor>("R2", out, spice::kGround, 1e3);
+
+  spice::SweepSpec spec;
+  spec.values = spice::linspace_count(0.0, 1.2, 13);
+  spec.apply = [](spice::Circuit& c, double v) {
+    static_cast<spice::VSource*>(c.find("V1"))->set_dc(v);
+  };
+
+  const auto serial = spice::run_sweep(ckt, spec, ExecPolicy::serial());
+  ASSERT_EQ(serial.size(), spec.values.size());
+
+  for (int threads : {2, 8}) {
+    JobReport report;
+    const auto parallel =
+        spice::run_sweep(ckt, spec, ExecPolicy{threads, 0}, &report);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i].value, serial[i].value);
+      EXPECT_TRUE(parallel[i].op.converged);
+      EXPECT_EQ(parallel[i].op.voltage("out"), serial[i].op.voltage("out"))
+          << "point " << i << ", " << threads << " threads";
+    }
+    EXPECT_EQ(report.tasks, spec.values.size());
+  }
+}
+
+}  // namespace
+}  // namespace sfc::exec
