@@ -6,12 +6,22 @@
 // Pass --threads N (before any google-benchmark flags) to additionally run
 // the Monte Carlo fan-out serially and with N threads, verify the outputs
 // are bit-identical, and report the speedup.
+//
+// Pass --smoke to instead run the tracked solver benchmark suite: a fixed
+// set of kernels timed on both Newton assembly paths (legacy full-restamp
+// vs the compiled stamp plan), with bit-identity checked between the two.
+// --json PATH (implies --smoke) writes the results as JSON; the bench-smoke
+// CMake target and ctest label run `--smoke --json BENCH_solver.json`.
+// Timing never fails the run — only a convergence failure or a bit-level
+// mismatch between the paths does.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "cim/array.hpp"
 #include "cim/behavioral.hpp"
@@ -126,6 +136,310 @@ static void BM_MosfetEval(benchmark::State& state) {
 }
 BENCHMARK(BM_MosfetEval);
 
+// ---------------------------------------------------------------------------
+// --smoke: tracked solver benchmark suite (see DESIGN.md "Solver hot path").
+// ---------------------------------------------------------------------------
+namespace smoke {
+
+#ifndef SFC_BUILD_TYPE
+#define SFC_BUILD_TYPE "unknown"
+#endif
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ms(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(p * (static_cast<double>(v.size()) - 1.0) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+/// Per-assembly-path timing of one kernel.
+struct ArmStats {
+  std::vector<double> times_ms;  ///< one entry per timed sample
+  long newton_iterations = 0;    ///< iterations in one sample's work unit
+
+  double median_ms() const { return percentile(times_ms, 0.5); }
+  double p90_ms() const { return percentile(times_ms, 0.9); }
+  /// Newton solves per wall second at the median sample.
+  double solves_per_sec() const {
+    const double ms = median_ms();
+    return ms > 0.0 ? static_cast<double>(newton_iterations) * 1e3 / ms : 0.0;
+  }
+};
+
+struct KernelResult {
+  const char* name;
+  const char* detail;
+  int samples = 0;
+  ArmStats legacy;
+  ArmStats hot;
+  bool bit_identical = true;
+  bool converged = true;
+
+  double speedup() const {
+    const double h = hot.median_ms();
+    return h > 0.0 ? legacy.median_ms() / h : 0.0;
+  }
+};
+
+bool same_mac(const cim::MacResult& a, const cim::MacResult& b) {
+  return a.converged == b.converged && a.v_acc == b.v_acc &&
+         a.v_cell == b.v_cell && a.energy_joules == b.energy_joules;
+}
+
+/// DC operating point of a one-cell 2T-1FeFET circuit (Fig. 7 cell),
+/// 50 solves per sample.
+KernelResult kernel_op_point(int samples) {
+  KernelResult kr{"op_point_fig7_cell",
+                  "DC operating point, 1-cell 2T-1FeFET circuit, 50 solves",
+                  samples,
+                  {},
+                  {},
+                  true,
+                  true};
+  cim::ArrayConfig cfg = cim::ArrayConfig::proposed_2t1fefet();
+  cfg.cells_per_row = 1;
+  cim::CiMRow leg_row(cfg), hot_row(cfg);
+  leg_row.set_stored({1});
+  hot_row.set_stored({1});
+  spice::Engine leg_engine(leg_row.circuit(), 27.0);
+  spice::Engine hot_engine(hot_row.circuit(), 27.0);
+  spice::NewtonOptions leg_opts = cfg.newton, hot_opts = cfg.newton;
+  leg_opts.use_stamp_plan = false;
+  hot_opts.use_stamp_plan = true;
+
+  constexpr int kSolves = 50;
+  const auto run = [&](spice::Engine& engine, const spice::NewtonOptions& o,
+                       ArmStats& arm, spice::DcResult& out) {
+    const auto t0 = Clock::now();
+    long iters = 0;
+    for (int i = 0; i < kSolves; ++i) {
+      out = engine.dc_operating_point(o);
+      iters += out.iterations;
+    }
+    arm.times_ms.push_back(elapsed_ms(t0));
+    arm.newton_iterations = iters;
+  };
+
+  spice::DcResult lr, hr;
+  run(leg_engine, leg_opts, kr.legacy, lr);  // warm-up (plan compile)
+  run(hot_engine, hot_opts, kr.hot, hr);
+  kr.legacy.times_ms.clear();
+  kr.hot.times_ms.clear();
+  for (int s = 0; s < samples; ++s) {
+    run(leg_engine, leg_opts, kr.legacy, lr);
+    run(hot_engine, hot_opts, kr.hot, hr);
+    kr.converged &= lr.converged && hr.converged;
+    kr.bit_identical &= lr.x == hr.x;
+  }
+  return kr;
+}
+
+/// The headline kernel: one full MAC-cycle transient of the Fig. 8
+/// 8-cell 2T-1FeFET array per sample.
+KernelResult kernel_transient_fig8(int samples) {
+  KernelResult kr{"transient_fig8_array",
+                  "MAC-cycle transient, 8-cell 2T-1FeFET array (Fig. 8)",
+                  samples,
+                  {},
+                  {},
+                  true,
+                  true};
+  cim::ArrayConfig hot_cfg = cim::ArrayConfig::proposed_2t1fefet();
+  cim::ArrayConfig leg_cfg = hot_cfg;
+  leg_cfg.newton.use_stamp_plan = false;
+  cim::CiMRow leg_row(leg_cfg), hot_row(hot_cfg);
+  const std::vector<int> stored = {1, 0, 1, 1, 0, 1, 0, 1};
+  const std::vector<int> inputs = {1, 1, 0, 1, 0, 1, 1, 0};
+  leg_row.set_stored(stored);
+  hot_row.set_stored(stored);
+
+  (void)leg_row.evaluate(inputs, 27.0);  // warm-up (plan compile)
+  (void)hot_row.evaluate(inputs, 27.0);
+  for (int s = 0; s < samples; ++s) {
+    auto t0 = Clock::now();
+    const cim::MacResult lr = leg_row.evaluate(inputs, 27.0);
+    kr.legacy.times_ms.push_back(elapsed_ms(t0));
+    t0 = Clock::now();
+    const cim::MacResult hr = hot_row.evaluate(inputs, 27.0);
+    kr.hot.times_ms.push_back(elapsed_ms(t0));
+    kr.converged &= lr.converged && hr.converged;
+    kr.bit_identical &= same_mac(lr, hr);
+    kr.legacy.newton_iterations = lr.newton_iterations;
+    kr.hot.newton_iterations = hr.newton_iterations;
+  }
+  return kr;
+}
+
+/// MAC cycles across the paper's temperature range (0/27/85 degC) per
+/// sample — exercises plan reuse across temperature changes.
+KernelResult kernel_temperature_sweep(int samples) {
+  KernelResult kr{"temperature_sweep_fig8",
+                  "MAC cycles at 0/27/85 degC, 8-cell array",
+                  samples,
+                  {},
+                  {},
+                  true,
+                  true};
+  cim::ArrayConfig hot_cfg = cim::ArrayConfig::proposed_2t1fefet();
+  cim::ArrayConfig leg_cfg = hot_cfg;
+  leg_cfg.newton.use_stamp_plan = false;
+  cim::CiMRow leg_row(leg_cfg), hot_row(hot_cfg);
+  const std::vector<int> stored = {1, 1, 0, 1, 0, 0, 1, 1};
+  const std::vector<int> inputs = {0, 1, 1, 1, 0, 1, 0, 1};
+  leg_row.set_stored(stored);
+  hot_row.set_stored(stored);
+  const double temps[] = {0.0, 27.0, 85.0};
+
+  const auto run = [&](cim::CiMRow& row, ArmStats& arm,
+                       std::vector<cim::MacResult>& out) {
+    out.clear();
+    const auto t0 = Clock::now();
+    long iters = 0;
+    for (const double t : temps) {
+      out.push_back(row.evaluate(inputs, t));
+      iters += out.back().newton_iterations;
+    }
+    arm.times_ms.push_back(elapsed_ms(t0));
+    arm.newton_iterations = iters;
+  };
+
+  std::vector<cim::MacResult> lr, hr;
+  run(leg_row, kr.legacy, lr);  // warm-up
+  run(hot_row, kr.hot, hr);
+  kr.legacy.times_ms.clear();
+  kr.hot.times_ms.clear();
+  for (int s = 0; s < samples; ++s) {
+    run(leg_row, kr.legacy, lr);
+    run(hot_row, kr.hot, hr);
+    for (std::size_t i = 0; i < lr.size(); ++i) {
+      kr.converged &= lr[i].converged && hr[i].converged;
+      kr.bit_identical &= same_mac(lr[i], hr[i]);
+    }
+  }
+  return kr;
+}
+
+/// Reduced Fig. 9 Monte Carlo fan-out (6 runs x 3 MAC values, serial).
+KernelResult kernel_montecarlo(int samples) {
+  KernelResult kr{"montecarlo_fig9_reduced",
+                  "Monte Carlo, 6 runs x 3 MAC values, serial",
+                  samples,
+                  {},
+                  {},
+                  true,
+                  true};
+  cim::MonteCarloConfig mc;
+  mc.runs = 6;
+  mc.sigma_vt_fefet = 0.054;
+  mc.mac_values = {0, 4, 8};
+  mc.exec = exec::ExecPolicy::serial();
+  cim::ArrayConfig hot_cfg = cim::ArrayConfig::proposed_2t1fefet();
+  cim::ArrayConfig leg_cfg = hot_cfg;
+  leg_cfg.newton.use_stamp_plan = false;
+
+  const auto run = [&](const cim::ArrayConfig& cfg, ArmStats& arm,
+                       cim::MonteCarloResult& out) {
+    const auto t0 = Clock::now();
+    out = cim::run_montecarlo(cfg, mc);
+    arm.times_ms.push_back(elapsed_ms(t0));
+    arm.newton_iterations = out.total_newton_iterations;
+  };
+
+  cim::MonteCarloResult lr, hr;
+  for (int s = 0; s < samples; ++s) {
+    run(leg_cfg, kr.legacy, lr);
+    run(hot_cfg, kr.hot, hr);
+    kr.converged &= lr.all_converged && hr.all_converged;
+    bool identical = lr.samples.size() == hr.samples.size();
+    for (std::size_t i = 0; identical && i < lr.samples.size(); ++i) {
+      identical = lr.samples[i].run == hr.samples[i].run &&
+                  lr.samples[i].mac == hr.samples[i].mac &&
+                  lr.samples[i].v_acc == hr.samples[i].v_acc;
+    }
+    kr.bit_identical &= identical;
+  }
+  return kr;
+}
+
+void write_json(const char* path, const std::vector<KernelResult>& kernels) {
+  FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "bench-smoke: cannot open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"benchmark\": \"solver_hotpath_smoke\",\n"
+               "  \"build_type\": \"%s\",\n"
+               "  \"headline_kernel\": \"transient_fig8_array\",\n"
+               "  \"target_speedup\": 2.0,\n"
+               "  \"kernels\": [\n",
+               SFC_BUILD_TYPE);
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    const KernelResult& k = kernels[i];
+    std::fprintf(
+        f,
+        "    {\n"
+        "      \"name\": \"%s\",\n"
+        "      \"detail\": \"%s\",\n"
+        "      \"samples\": %d,\n"
+        "      \"legacy_median_ms\": %.4f,\n"
+        "      \"legacy_p90_ms\": %.4f,\n"
+        "      \"hot_median_ms\": %.4f,\n"
+        "      \"hot_p90_ms\": %.4f,\n"
+        "      \"speedup\": %.3f,\n"
+        "      \"newton_iterations\": %ld,\n"
+        "      \"hot_solves_per_sec\": %.1f,\n"
+        "      \"bit_identical\": %s,\n"
+        "      \"converged\": %s\n"
+        "    }%s\n",
+        k.name, k.detail, k.samples, k.legacy.median_ms(), k.legacy.p90_ms(),
+        k.hot.median_ms(), k.hot.p90_ms(), k.speedup(),
+        k.hot.newton_iterations, k.hot.solves_per_sec(),
+        k.bit_identical ? "true" : "false", k.converged ? "true" : "false",
+        i + 1 < kernels.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("bench-smoke: wrote %s\n", path);
+}
+
+/// Runs the suite; returns the process exit code (0 = all kernels
+/// converged with bit-identical legacy/hot results).
+int run(const std::string& json_path) {
+  std::printf("== Solver hot-path smoke benchmark (build: %s) ==\n\n",
+              SFC_BUILD_TYPE);
+  std::vector<KernelResult> kernels;
+  kernels.push_back(kernel_op_point(5));
+  kernels.push_back(kernel_transient_fig8(9));
+  kernels.push_back(kernel_temperature_sweep(5));
+  kernels.push_back(kernel_montecarlo(3));
+
+  bool ok = true;
+  std::printf("%-26s %12s %12s %9s %6s %6s\n", "kernel", "legacy[ms]",
+              "hot[ms]", "speedup", "ident", "conv");
+  for (const KernelResult& k : kernels) {
+    ok &= k.bit_identical && k.converged;
+    std::printf("%-26s %12.3f %12.3f %8.2fx %6s %6s\n", k.name,
+                k.legacy.median_ms(), k.hot.median_ms(), k.speedup(),
+                k.bit_identical ? "yes" : "NO", k.converged ? "yes" : "NO");
+  }
+  std::printf(
+      "\nHeadline (transient_fig8_array) tracks the documented >=2x target\n"
+      "with the default build config; timing never fails this run, only a\n"
+      "bit-identity or convergence failure does.\n");
+  if (!json_path.empty()) write_json(json_path.c_str(), kernels);
+  return ok ? 0 : 1;
+}
+
+}  // namespace smoke
+
 namespace {
 
 /// Remove `--threads N` / `--threads=N` from argv (google-benchmark rejects
@@ -145,6 +459,29 @@ int strip_threads_flag(int* argc, char** argv) {
   }
   *argc = out;
   return threads;
+}
+
+/// Remove `--smoke` and `--json PATH` / `--json=PATH` from argv. Returns
+/// true when smoke mode was requested (--json implies it).
+bool strip_smoke_flags(int* argc, char** argv, std::string* json_path) {
+  bool smoke = false;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--json" && i + 1 < *argc) {
+      *json_path = argv[++i];
+      smoke = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      *json_path = arg.substr(7);
+      smoke = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return smoke;
 }
 
 void report_montecarlo_speedup(int threads) {
@@ -180,6 +517,10 @@ void report_montecarlo_speedup(int threads) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string json_path;
+  if (strip_smoke_flags(&argc, argv, &json_path)) {
+    return smoke::run(json_path);
+  }
   const int threads = strip_threads_flag(&argc, argv);
   if (threads > 0) report_montecarlo_speedup(threads);
   benchmark::Initialize(&argc, argv);

@@ -151,15 +151,22 @@ MacResult CiMRow::evaluate(const std::vector<int>& inputs,
                                     t.t_settle + t.t_edge, t.t_edge, t.t_edge,
                                     t.t_share, /*period=*/0.0, /*cycles=*/1));
 
-  Engine engine(circuit_, temperature_c);
+  if (!engine_) {
+    engine_.emplace(circuit_, temperature_c);
+  } else {
+    engine_->set_temperature_c(temperature_c);
+  }
+  Engine& engine = *engine_;
   TransientOptions opts;
   opts.dt = t.dt;
   opts.method = sfc::spice::IntegrationMethod::kTrapezoidal;
+  opts.newton = cfg_.newton;
 
   MacResult result;
   result.ops = cfg_.cells_per_row + 1;
   sfc::spice::TransientResult tr = engine.transient(t.t_total(), opts);
   result.converged = tr.converged;
+  result.newton_iterations = tr.total_newton_iterations;
   if (!tr.converged) return result;
 
   result.v_acc = tr.final_value(kAccNode);

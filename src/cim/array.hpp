@@ -4,6 +4,7 @@
 // temperature.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "cim/cell.hpp"
@@ -22,6 +23,8 @@ struct MacResult {
   double energy_joules = 0.0;
   /// Ops per row MAC: n multiplications + 1 accumulation (paper Sec. IV-A).
   int ops = 0;
+  /// Newton iterations spent on the cycle (solver benchmark metric).
+  long newton_iterations = 0;
   /// Full waveform record (only populated when requested).
   sfc::spice::TransientResult waveforms;
 
@@ -33,6 +36,10 @@ struct MacResult {
 class CiMRow {
  public:
   explicit CiMRow(ArrayConfig cfg);
+
+  // The cached engine holds a reference to circuit_; pin the row in place.
+  CiMRow(const CiMRow&) = delete;
+  CiMRow& operator=(const CiMRow&) = delete;
 
   int cells() const { return cfg_.cells_per_row; }
   const ArrayConfig& config() const { return cfg_; }
@@ -73,6 +80,10 @@ class CiMRow {
   sfc::spice::Circuit circuit_;
   std::vector<CellHandles> cells_;
   sfc::spice::VSource* en_ = nullptr;
+  /// Engine kept across evaluate() calls so the solver workspace — the
+  /// compiled stamp pattern and LU plan — is reused between MAC cycles on
+  /// the same array (results are independent of workspace state).
+  std::optional<sfc::spice::Engine> engine_;
 };
 
 }  // namespace sfc::cim

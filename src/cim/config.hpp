@@ -12,6 +12,7 @@
 
 #include "devices/mosfet.hpp"
 #include "fefet/fefet.hpp"
+#include "spice/engine.hpp"
 #include "spice/primitives.hpp"
 
 namespace sfc::cim {
@@ -116,6 +117,10 @@ struct ArrayConfig {
   Cell2TConfig cell2t;
   Cell1RConfig cell1r;
   SenseConfig sense;
+  /// Newton solver knobs for every MAC-cycle transient; defaults enable
+  /// the stamp-plan hot path. Benchmarks and A/B tests flip
+  /// newton.use_stamp_plan to compare against the legacy assembler.
+  sfc::spice::NewtonOptions newton;
 
   /// WL level used for input '1' under this configuration.
   double wl_read_level() const {

@@ -49,6 +49,7 @@ namespace {
 struct RunOutcome {
   std::vector<MonteCarloSample> samples;
   bool converged = true;
+  long newton_iterations = 0;
 };
 
 }  // namespace
@@ -78,6 +79,7 @@ MonteCarloResult run_montecarlo(const ArrayConfig& cfg,
     for (int k = 0; k <= n; ++k) {
       MacResult r = row.evaluate(pattern_for(k), mc.temperature_c);
       if (!r.converged) result.all_converged = false;
+      result.total_newton_iterations += r.newton_iterations;
       nominal[static_cast<std::size_t>(k)] = r.v_acc;
     }
   }
@@ -117,6 +119,7 @@ MonteCarloResult run_montecarlo(const ArrayConfig& cfg,
         outcome.samples.reserve(macs.size());
         for (int k : macs) {
           MacResult r = row.evaluate(pattern_for(k), mc.temperature_c);
+          outcome.newton_iterations += r.newton_iterations;
           if (!r.converged) {
             outcome.converged = false;
             continue;
@@ -138,6 +141,7 @@ MonteCarloResult run_montecarlo(const ArrayConfig& cfg,
   // Merge in run order; aggregate statistics stay order-independent.
   for (const auto& outcome : outcomes) {
     if (!outcome.converged) result.all_converged = false;
+    result.total_newton_iterations += outcome.newton_iterations;
     for (const auto& s : outcome.samples) {
       result.max_error_percent =
           std::max(result.max_error_percent, s.error_percent);

@@ -72,6 +72,9 @@ struct MonteCarloResult {
   /// the wrong MAC for that sample).
   double max_error_levels = 0.0;
   bool all_converged = true;
+  /// Newton iterations summed over every simulated MAC cycle (nominal
+  /// levels + all runs) — the solver benchmark's work metric.
+  long total_newton_iterations = 0;
   /// Wall time and per-run timings of the Monte Carlo fan-out.
   sfc::exec::JobReport job;
 

@@ -47,9 +47,14 @@ double Diode::current(double v, double temperature_c) const {
 void Diode::stamp(const sfc::spice::SimContext& ctx,
                   sfc::spice::Stamper& s) {
   const double v = vdiff(s, anode_, cathode_);
-  const double t_kelvin = sfc::util::celsius_to_kelvin(ctx.temperature_c);
-  const double vt = sfc::util::thermal_voltage(t_kelvin) * p_.emission;
-  const double isat = saturation_current(p_, ctx.temperature_c);
+  if (ctx.temperature_c != cache_temp_c_) {
+    const double t_kelvin = sfc::util::celsius_to_kelvin(ctx.temperature_c);
+    cache_vt_ = sfc::util::thermal_voltage(t_kelvin) * p_.emission;
+    cache_isat_ = saturation_current(p_, ctx.temperature_c);
+    cache_temp_c_ = ctx.temperature_c;
+  }
+  const double vt = cache_vt_;
+  const double isat = cache_isat_;
 
   double i, g;
   const double x = v / vt;

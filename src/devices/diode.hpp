@@ -21,6 +21,9 @@ class Diode : public sfc::spice::Device {
   Diode(std::string name, sfc::spice::NodeId anode,
         sfc::spice::NodeId cathode, DiodeParams params = {});
 
+  /// Exponential I(V): nonlinear (the Device default, restated because
+  /// the stamp-plan engine relies on it).
+  bool is_linear() const override { return false; }
   void stamp(const sfc::spice::SimContext& ctx,
              sfc::spice::Stamper& s) override;
   void stamp_ac(const sfc::spice::SimContext& ctx,
@@ -39,6 +42,12 @@ class Diode : public sfc::spice::Device {
  private:
   sfc::spice::NodeId anode_, cathode_;
   DiodeParams p_;
+  /// Memoized Is(T)/N*VT(T) — the pow/exp temperature law is loop-
+  /// invariant across Newton iterations (workers stamp cloned circuits,
+  /// so the mutable cache is race-free).
+  mutable double cache_temp_c_ = -1e300;
+  mutable double cache_vt_ = 0.0;
+  mutable double cache_isat_ = 0.0;
 };
 
 }  // namespace sfc::devices

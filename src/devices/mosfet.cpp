@@ -51,8 +51,26 @@ MosfetParams MosfetParams::finfet14_pmos(double w_over_l) {
   return p;
 }
 
+MosfetTempTerms mosfet_temp_terms(const MosfetParams& p,
+                                  double temperature_c) {
+  MosfetTempTerms t;
+  const double t_kelvin = util::celsius_to_kelvin(temperature_c);
+  t.vt = util::thermal_voltage(t_kelvin);
+  t.two_n_vt = 2.0 * p.n_factor * t.vt;
+  t.vth = p.vth(temperature_c);
+  t.i_spec = p.specific_current(temperature_c);
+  return t;
+}
+
 MosfetEval evaluate_mosfet(const MosfetParams& p, double vg, double vd,
                            double vs, double temperature_c,
+                           double vth_extra) {
+  return evaluate_mosfet(p, mosfet_temp_terms(p, temperature_c), vg, vd, vs,
+                         vth_extra);
+}
+
+MosfetEval evaluate_mosfet(const MosfetParams& p, const MosfetTempTerms& t,
+                           double vg, double vd, double vs,
                            double vth_extra) {
   // PMOS is evaluated as an NMOS in a mirrored voltage frame and the
   // current/derivative signs are restored at the end.
@@ -61,11 +79,9 @@ MosfetEval evaluate_mosfet(const MosfetParams& p, double vg, double vd,
   const double vd_n = sign * vd;
   const double vs_n = sign * vs;
 
-  const double t_kelvin = util::celsius_to_kelvin(temperature_c);
-  const double vt = util::thermal_voltage(t_kelvin);
-  const double two_n_vt = 2.0 * p.n_factor * vt;
-  const double vth = p.vth(temperature_c) + vth_extra;
-  const double i_spec = p.specific_current(temperature_c);
+  const double two_n_vt = t.two_n_vt;
+  const double vth = t.vth + vth_extra;
+  const double i_spec = t.i_spec;
 
   const double xf = (vg_n - vs_n - vth) / two_n_vt;
   const double xr = (vg_n - vd_n - vth) / two_n_vt;
@@ -127,8 +143,8 @@ void Mosfet::stamp(const sfc::spice::SimContext& ctx,
   const double vd = s.v(drain_);
   const double vs = s.v(source_);
   const double vth_extra = vth_shift_ + dynamic_vth_offset(ctx.temperature_c);
-  const MosfetEval ev =
-      evaluate_mosfet(params_, vg, vd, vs, ctx.temperature_c, vth_extra);
+  const MosfetEval ev = evaluate_mosfet(params_, temp_terms(ctx.temperature_c),
+                                        vg, vd, vs, vth_extra);
 
   // Linearized drain current (flows drain -> source):
   //   i = id + gm_g*(Vg - vg) + gm_d*(Vd - vd) + gm_s*(Vs - vs)

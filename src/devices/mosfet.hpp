@@ -11,6 +11,8 @@
 // matters because the 2T-1FeFET feedback cell swings its internal nodes.
 #pragma once
 
+#include <limits>
+
 #include "spice/device.hpp"
 
 namespace sfc::devices {
@@ -48,11 +50,29 @@ struct MosfetEval {
   double gm_s = 0.0; ///< dId/dVs
 };
 
+/// Temperature-dependent model terms hoisted out of the per-stamp
+/// evaluation. Computing them needs pow/exp, and the engine re-evaluates
+/// the model every Newton iteration at an unchanged temperature, so the
+/// circuit device memoizes these per temperature (a pure function of
+/// (params, T) — caching is bitwise-transparent).
+struct MosfetTempTerms {
+  double vt = 0.0;        ///< thermal voltage kT/q [V]
+  double two_n_vt = 0.0;  ///< 2*n*VT subthreshold denominator [V]
+  double vth = 0.0;       ///< VTH(T) before per-device shifts [V]
+  double i_spec = 0.0;    ///< specific current at T [A]
+};
+MosfetTempTerms mosfet_temp_terms(const MosfetParams& p, double temperature_c);
+
 /// Evaluate the model at terminal voltages (vg, vd, vs) and temperature.
 /// `vth_extra` shifts the threshold (used for FeFET polarization and for
 /// Monte Carlo process variation).
 MosfetEval evaluate_mosfet(const MosfetParams& p, double vg, double vd,
                            double vs, double temperature_c,
+                           double vth_extra = 0.0);
+
+/// Same evaluation with precomputed temperature terms (the hot path).
+MosfetEval evaluate_mosfet(const MosfetParams& p, const MosfetTempTerms& t,
+                           double vg, double vd, double vs,
                            double vth_extra = 0.0);
 
 /// Three-terminal MOSFET circuit device (bulk tied to source).
@@ -61,6 +81,11 @@ class Mosfet : public sfc::spice::Device {
   Mosfet(std::string name, sfc::spice::NodeId drain, sfc::spice::NodeId gate,
          sfc::spice::NodeId source, MosfetParams params);
 
+  /// The stamp linearizes the channel current around the terminal
+  /// voltages of the Newton iterate: intrinsically nonlinear (this is the
+  /// Device default, restated here because the stamp-plan engine depends
+  /// on it).
+  bool is_linear() const override { return false; }
   void stamp(const sfc::spice::SimContext& ctx,
              sfc::spice::Stamper& s) override;
   void stamp_ac(const sfc::spice::SimContext& ctx,
@@ -74,7 +99,12 @@ class Mosfet : public sfc::spice::Device {
   }
 
   const MosfetParams& params() const { return params_; }
-  MosfetParams& mutable_params() { return params_; }
+  /// Mutable parameter access invalidates the cached temperature terms;
+  /// don't hold the reference across stamping.
+  MosfetParams& mutable_params() {
+    terms_temp_c_ = std::numeric_limits<double>::quiet_NaN();
+    return params_;
+  }
 
   /// Additional threshold shift (process variation injection).
   void set_vth_shift(double volts) { vth_shift_ = volts; }
@@ -93,9 +123,22 @@ class Mosfet : public sfc::spice::Device {
   }
 
  private:
+  /// Memoized mosfet_temp_terms(params_, temperature_c). Safe for
+  /// parallel sweeps because workers solve cloned circuits, never a
+  /// shared device instance.
+  const MosfetTempTerms& temp_terms(double temperature_c) const {
+    if (temperature_c != terms_temp_c_) {
+      terms_ = mosfet_temp_terms(params_, temperature_c);
+      terms_temp_c_ = temperature_c;
+    }
+    return terms_;
+  }
+
   sfc::spice::NodeId drain_, gate_, source_;
   MosfetParams params_;
   double vth_shift_ = 0.0;
+  mutable double terms_temp_c_ = std::numeric_limits<double>::quiet_NaN();
+  mutable MosfetTempTerms terms_;
 };
 
 }  // namespace sfc::devices

@@ -40,6 +40,10 @@ class FeFet final : public devices::Mosfet {
   double effective_vth(double temperature_c) const;
 
  protected:
+  /// Feeds the polarization-dependent threshold into the inherited
+  /// Mosfet::stamp as vth_extra. The Mosfet temperature-term cache stays
+  /// valid because polarization never enters those terms; the device as a
+  /// whole remains nonlinear (is_linear() == false via Mosfet).
   double dynamic_vth_offset(double temperature_c) const override {
     return fe_.vth(temperature_c);
   }

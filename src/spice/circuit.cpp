@@ -29,6 +29,13 @@ bool Circuit::has_node(const std::string& name) const {
   return is_ground_name(name) || node_index_.count(name) > 0;
 }
 
+std::optional<NodeId> Circuit::find_node(const std::string& name) const {
+  if (is_ground_name(name)) return kGround;
+  auto it = node_index_.find(name);
+  if (it == node_index_.end()) return std::nullopt;
+  return it->second;
+}
+
 void Circuit::register_device(std::unique_ptr<Device> dev) {
   if (device_index_.count(dev->name())) {
     throw std::invalid_argument("Circuit: duplicate device name '" +
@@ -53,23 +60,30 @@ Circuit Circuit::clone() const {
   Circuit copy;
   copy.node_names_ = node_names_;
   copy.node_index_ = node_index_;
-  copy.num_aux_ = num_aux_;
-  copy.finalized_ = finalized_;
   copy.devices_.reserve(devices_.size());
   for (const auto& dev : devices_) {
     auto dup = dev->clone();
     copy.device_index_.emplace(dup->name(), dup.get());
     copy.devices_.push_back(std::move(dup));
   }
+  // The partition lists must point at the clone's devices, so rebuild
+  // rather than copying finalize() output.
+  if (finalized_) copy.finalize();
   return copy;
 }
 
 void Circuit::finalize() {
+  if (finalized_) return;
   num_aux_ = 0;
+  linear_.clear();
+  nonlinear_.clear();
+  linear_.reserve(devices_.size());
   for (auto& dev : devices_) {
     dev->set_aux_base(num_aux_);
     num_aux_ += dev->num_aux();
+    (dev->is_linear() ? linear_ : nonlinear_).push_back(dev.get());
   }
+  ++plan_version_;
   finalized_ = true;
 }
 

@@ -2,7 +2,9 @@
 // created by name on first use ("0" and "gnd" map to ground).
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
@@ -25,6 +27,10 @@ class Circuit {
 
   /// True if a node of that name already exists.
   bool has_node(const std::string& name) const;
+
+  /// Const lookup without creation: the NodeId for `name`, kGround for any
+  /// ground alias, or nullopt when no such node exists.
+  std::optional<NodeId> find_node(const std::string& name) const;
 
   /// Number of non-ground nodes.
   std::size_t num_nodes() const { return node_names_.size(); }
@@ -50,6 +56,18 @@ class Circuit {
     return devices_;
   }
 
+  /// Linear / nonlinear partition computed by finalize() from
+  /// Device::is_linear(). The stamp-plan engine stamps `linear_devices()`
+  /// once per solve into a cached baseline and restamps only
+  /// `nonlinear_devices()` per Newton iteration. Registration order is
+  /// preserved within each partition.
+  const std::vector<Device*>& linear_devices() const { return linear_; }
+  const std::vector<Device*>& nonlinear_devices() const { return nonlinear_; }
+
+  /// Bumped whenever finalize() re-runs over a modified device list; lets
+  /// engine workspaces detect that cached stamp plans are stale.
+  std::uint64_t plan_version() const { return plan_version_; }
+
   /// Deep copy: same node registry, every device cloned with its full
   /// runtime state. Solves mutate device state (capacitor history,
   /// transient bookkeeping), so parallel sweeps give each worker its own
@@ -71,7 +89,10 @@ class Circuit {
   std::unordered_map<std::string, NodeId> node_index_;
   std::vector<std::unique_ptr<Device>> devices_;
   std::unordered_map<std::string, Device*> device_index_;
+  std::vector<Device*> linear_;
+  std::vector<Device*> nonlinear_;
   int num_aux_ = 0;
+  std::uint64_t plan_version_ = 0;
   bool finalized_ = false;
 };
 

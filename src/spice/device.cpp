@@ -4,64 +4,8 @@
 
 namespace sfc::spice {
 
-Stamper::Stamper(DenseMatrix& a, std::vector<double>& b,
-                 const std::vector<double>& x, std::size_t num_nodes)
-    : a_(a), b_(b), x_(x), num_nodes_(num_nodes) {}
-
-double Stamper::v(NodeId n) const {
-  if (n == kGround) return 0.0;
-  assert(n >= 0 && static_cast<std::size_t>(n) < num_nodes_);
-  return x_[static_cast<std::size_t>(n)];
-}
-
-double Stamper::aux(int aux_index) const {
-  const std::size_t idx = num_nodes_ + static_cast<std::size_t>(aux_index);
-  assert(idx < x_.size());
-  return x_[idx];
-}
-
-int Stamper::node_row(NodeId n) const {
-  return n;  // ground (-1) is intentionally returned as-is; callers check
-}
-
-int Stamper::aux_row(int aux_index) const {
-  return static_cast<int>(num_nodes_) + aux_index;
-}
-
-void Stamper::add_matrix(int row, int col, double value) {
-  if (row < 0 || col < 0) return;  // ground row/col dropped
-  a_.at(static_cast<std::size_t>(row), static_cast<std::size_t>(col)) += value;
-}
-
-void Stamper::add_rhs(int row, double value) {
-  if (row < 0) return;
-  b_[static_cast<std::size_t>(row)] += value;
-}
-
-void Stamper::conductance(NodeId a, NodeId b, double g) {
-  add_matrix(a, a, g);
-  add_matrix(b, b, g);
-  add_matrix(a, b, -g);
-  add_matrix(b, a, -g);
-}
-
-void Stamper::conductance_to_ground(NodeId a, double g) {
-  add_matrix(a, a, g);
-}
-
-void Stamper::current(NodeId from, NodeId to, double i) {
-  // Current leaving `from` and entering `to`.
-  add_rhs(from, -i);
-  add_rhs(to, i);
-}
-
-void Stamper::vccs(NodeId out_p, NodeId out_n, NodeId ctrl_p, NodeId ctrl_n,
-                   double gm) {
-  add_matrix(out_p, ctrl_p, gm);
-  add_matrix(out_p, ctrl_n, -gm);
-  add_matrix(out_n, ctrl_p, -gm);
-  add_matrix(out_n, ctrl_n, gm);
-}
+// Stamper is fully inline in device.hpp (Newton hot path); only the AC
+// facade lives here.
 
 AcStamper::AcStamper(ComplexMatrix& a, std::vector<Scalar>& b,
                      const std::vector<double>& dc_x, std::size_t num_nodes,

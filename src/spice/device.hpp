@@ -6,6 +6,7 @@
 // where x = [node voltages | auxiliary branch currents].
 #pragma once
 
+#include <cassert>
 #include <memory>
 #include <string>
 #include <vector>
@@ -43,42 +44,101 @@ struct SimContext {
 };
 
 /// Assembly facade: devices only see stamping primitives, never the matrix
-/// layout. Rows/cols: nodes first, then auxiliary variables.
+/// layout. Rows/cols: nodes first, then auxiliary variables. All methods
+/// are inline — stamping sits on the Newton hot path.
 class Stamper {
  public:
   Stamper(DenseMatrix& a, std::vector<double>& b,
-          const std::vector<double>& x, std::size_t num_nodes);
+          const std::vector<double>& x, std::size_t num_nodes)
+      : a_(a), b_(b), x_(x), num_nodes_(num_nodes) {}
+
+  /// Record every touched matrix entry into `pattern` (row-major dim*dim
+  /// flags). The engine runs one recording pass per circuit/analysis mode
+  /// to learn the structural sparsity its compiled LU plan relies on.
+  void record_pattern(std::vector<char>* pattern, std::size_t dim) {
+    pattern_ = pattern ? pattern->data() : nullptr;
+    pattern_dim_ = dim;
+  }
+
+  /// Debug guard for the stamp-plan baseline: devices claiming
+  /// Device::is_linear() must not read the Newton iterate, so v()/aux()
+  /// assert while this is set.
+  void forbid_iterate_reads(bool forbid) { forbid_iterate_reads_ = forbid; }
 
   /// Voltage of a node at the current Newton iterate (ground = 0 V).
-  double v(NodeId n) const;
+  double v(NodeId n) const {
+    assert(!forbid_iterate_reads_ &&
+           "linear (baseline-stamped) device read the Newton iterate");
+    if (n == kGround) return 0.0;
+    assert(n >= 0 && static_cast<std::size_t>(n) < num_nodes_);
+    return x_[static_cast<std::size_t>(n)];
+  }
 
   /// Value of auxiliary variable `aux_index` (global index).
-  double aux(int aux_index) const;
+  double aux(int aux_index) const {
+    assert(!forbid_iterate_reads_ &&
+           "linear (baseline-stamped) device read the Newton iterate");
+    const std::size_t idx = num_nodes_ + static_cast<std::size_t>(aux_index);
+    assert(idx < x_.size());
+    return x_[idx];
+  }
 
   /// Conductance g between nodes a and b.
-  void conductance(NodeId a, NodeId b, double g);
+  void conductance(NodeId a, NodeId b, double g) {
+    add_matrix(a, a, g);
+    add_matrix(b, b, g);
+    add_matrix(a, b, -g);
+    add_matrix(b, a, -g);
+  }
 
   /// Conductance g from node a to ground.
-  void conductance_to_ground(NodeId a, double g);
+  void conductance_to_ground(NodeId a, double g) { add_matrix(a, a, g); }
 
   /// Independent current i flowing from node `from` into node `to`.
-  void current(NodeId from, NodeId to, double i);
+  void current(NodeId from, NodeId to, double i) {
+    add_rhs(from, -i);
+    add_rhs(to, i);
+  }
 
   /// Voltage-controlled current source: i(out_p -> out_n) = gm * v(ctrl_p, ctrl_n).
-  void vccs(NodeId out_p, NodeId out_n, NodeId ctrl_p, NodeId ctrl_n, double gm);
+  void vccs(NodeId out_p, NodeId out_n, NodeId ctrl_p, NodeId ctrl_n,
+            double gm) {
+    add_matrix(out_p, ctrl_p, gm);
+    add_matrix(out_p, ctrl_n, -gm);
+    add_matrix(out_n, ctrl_p, -gm);
+    add_matrix(out_n, ctrl_n, gm);
+  }
 
   // Raw access for devices with auxiliary variables (voltage sources,
   // inductors). Row/col indexing: node n -> n, aux k -> num_nodes + k.
-  int node_row(NodeId n) const;
-  int aux_row(int aux_index) const;
-  void add_matrix(int row, int col, double value);
-  void add_rhs(int row, double value);
+  int node_row(NodeId n) const {
+    return n;  // ground (-1) is intentionally returned as-is; callers check
+  }
+  int aux_row(int aux_index) const {
+    return static_cast<int>(num_nodes_) + aux_index;
+  }
+  void add_matrix(int row, int col, double value) {
+    if (row < 0 || col < 0) return;  // ground row/col dropped
+    if (pattern_) {
+      pattern_[static_cast<std::size_t>(row) * pattern_dim_ +
+               static_cast<std::size_t>(col)] = 1;
+    }
+    a_.at(static_cast<std::size_t>(row), static_cast<std::size_t>(col)) +=
+        value;
+  }
+  void add_rhs(int row, double value) {
+    if (row < 0) return;
+    b_[static_cast<std::size_t>(row)] += value;
+  }
 
  private:
   DenseMatrix& a_;
   std::vector<double>& b_;
   const std::vector<double>& x_;
   std::size_t num_nodes_;
+  char* pattern_ = nullptr;
+  std::size_t pattern_dim_ = 0;
+  bool forbid_iterate_reads_ = false;
 };
 
 /// Assembly facade for AC (small-signal) analysis: the complex system
@@ -134,6 +194,17 @@ class Device {
 
   /// Number of auxiliary (branch-current) variables this device needs.
   virtual int num_aux() const { return 0; }
+
+  /// Linearity contract for the stamp-plan hot path. Return true only when
+  /// stamp() writes values that depend solely on the SimContext and on
+  /// state committed by start_transient()/accept_step() — never on the
+  /// Newton iterate read through Stamper::v()/aux(). Linear devices are
+  /// stamped once per solve into a cached baseline and NOT re-stamped
+  /// between Newton iterations; a device that reads the iterate while
+  /// claiming linearity silently converges to wrong answers (debug builds
+  /// catch it via Stamper::forbid_iterate_reads). Default: nonlinear,
+  /// which is always safe.
+  virtual bool is_linear() const { return false; }
 
   /// Assigned by Circuit::finalize(); global index of first aux variable.
   void set_aux_base(int base) { aux_base_ = base; }

@@ -22,9 +22,9 @@ std::vector<double> Engine::initial_vector() const {
   for (const auto& [name, volts] : node_guesses_) {
     // Guesses for nodes that were never created are silently ignored; this
     // lets generic setup code seed optional probe nodes.
-    if (!circuit_.has_node(name)) continue;
-    const NodeId id = const_cast<Circuit&>(circuit_).node(name);
-    if (id != kGround) x[static_cast<std::size_t>(id)] = volts;
+    const std::optional<NodeId> id = circuit_.find_node(name);
+    if (!id || *id == kGround) continue;
+    x[static_cast<std::size_t>(*id)] = volts;
   }
   return x;
 }
@@ -34,7 +34,7 @@ void Engine::assemble(const SimContext& ctx, const std::vector<double>& x,
   a.set_zero();
   std::fill(b.begin(), b.end(), 0.0);
   Stamper stamper(a, b, x, circuit_.num_nodes());
-  for (const auto& dev : circuit_.devices()) {
+  for (Device* dev : circuit_.linear_devices()) {
     dev->stamp(ctx, stamper);
   }
   // gmin from every node to ground keeps the matrix nonsingular when
@@ -42,10 +42,41 @@ void Engine::assemble(const SimContext& ctx, const std::vector<double>& x,
   for (std::size_t n = 0; n < circuit_.num_nodes(); ++n) {
     a.at(n, n) += ctx.gmin;
   }
+  for (Device* dev : circuit_.nonlinear_devices()) {
+    dev->stamp(ctx, stamper);
+  }
 }
 
-bool Engine::newton_solve(const SimContext& ctx, std::vector<double>& x,
-                          const NewtonOptions& options, int* iterations_out) {
+bool Engine::apply_update(std::vector<double>& x,
+                          const std::vector<double>& x_new,
+                          const NewtonOptions& options) const {
+  // Damped update: clamp each voltage component's change. Aux variables
+  // (branch currents) are left unclamped, as their scale is unknown.
+  const std::size_t size = x.size();
+  double max_delta_v = 0.0;
+  bool aux_converged = true;
+  for (std::size_t i = 0; i < size; ++i) {
+    double delta = x_new[i] - x[i];
+    if (i < circuit_.num_nodes()) {
+      const double limit = options.max_update_voltage;
+      if (delta > limit) delta = limit;
+      if (delta < -limit) delta = -limit;
+      max_delta_v = std::max(max_delta_v, std::fabs(delta));
+      x[i] += delta;
+    } else {
+      const double tol =
+          options.reltol * std::max(std::fabs(x[i]), std::fabs(x_new[i])) +
+          1e-15;
+      if (std::fabs(delta) > tol) aux_converged = false;
+      x[i] = x_new[i];
+    }
+  }
+  return max_delta_v < options.vtol && aux_converged;
+}
+
+bool Engine::newton_solve_legacy(const SimContext& ctx, std::vector<double>& x,
+                                 const NewtonOptions& options,
+                                 int* iterations_out) {
   const std::size_t size = circuit_.system_size();
   DenseMatrix a(size, size);
   std::vector<double> b(size, 0.0);
@@ -58,33 +89,110 @@ bool Engine::newton_solve(const SimContext& ctx, std::vector<double>& x,
       if (iterations_out) *iterations_out = iter + 1;
       return false;
     }
-
-    // Damped update: clamp each voltage component's change. Aux variables
-    // (branch currents) are left unclamped, as their scale is unknown.
-    double max_delta_v = 0.0;
-    bool aux_converged = true;
-    for (std::size_t i = 0; i < size; ++i) {
-      double delta = x_new[i] - x[i];
-      if (i < circuit_.num_nodes()) {
-        const double limit = options.max_update_voltage;
-        if (delta > limit) delta = limit;
-        if (delta < -limit) delta = -limit;
-        max_delta_v = std::max(max_delta_v, std::fabs(delta));
-        x[i] += delta;
-      } else {
-        const double tol =
-            options.reltol * std::max(std::fabs(x[i]), std::fabs(x_new[i])) +
-            1e-15;
-        if (std::fabs(delta) > tol) aux_converged = false;
-        x[i] = x_new[i];
-      }
-    }
-
+    const bool converged = apply_update(x, x_new, options);
     if (iterations_out) *iterations_out = iter + 1;
-    const double vtol_eff = options.vtol;
-    if (max_delta_v < vtol_eff && aux_converged && iter > 0) {
-      return true;
+    if (converged && iter > 0) return true;
+  }
+  return false;
+}
+
+void Engine::prepare_workspace(const SimContext& ctx) {
+  SolverWorkspace& ws = workspaces_[static_cast<int>(ctx.mode)];
+  const std::size_t size = circuit_.system_size();
+  if (ws.size == size && ws.mode == ctx.mode &&
+      ws.plan_version == circuit_.plan_version()) {
+    return;
+  }
+  ws.a = DenseMatrix(size, size);
+  ws.a_base = DenseMatrix(size, size);
+  ws.b.assign(size, 0.0);
+  ws.b_base.assign(size, 0.0);
+  ws.x_new.assign(size, 0.0);
+  ws.pattern.assign(size * size, 0);
+  ws.pattern_valid = false;
+  ws.plan.reset();
+  ws.size = size;
+  ws.mode = ctx.mode;
+  ws.plan_version = circuit_.plan_version();
+}
+
+bool Engine::newton_solve(const SimContext& ctx, std::vector<double>& x,
+                          const NewtonOptions& options, int* iterations_out) {
+  circuit_.finalize();
+  if (!options.use_stamp_plan) {
+    return newton_solve_legacy(ctx, x, options, iterations_out);
+  }
+
+  SolverWorkspace& ws = workspaces_[static_cast<int>(ctx.mode)];
+  prepare_workspace(ctx);
+  const std::size_t size = ws.size;
+  const std::size_t num_nodes = circuit_.num_nodes();
+
+  // Baseline: linear stamps + gmin, valid for the whole solve. Linear
+  // devices may not read the Newton iterate (Device::is_linear contract),
+  // so it is legal to build this before x has converged.
+  ws.a_base.set_zero();
+  std::fill(ws.b_base.begin(), ws.b_base.end(), 0.0);
+  {
+    Stamper stamper(ws.a_base, ws.b_base, x, num_nodes);
+    if (!ws.pattern_valid) stamper.record_pattern(&ws.pattern, size);
+#ifndef NDEBUG
+    stamper.forbid_iterate_reads(true);
+#endif
+    for (Device* dev : circuit_.linear_devices()) {
+      dev->stamp(ctx, stamper);
     }
+  }
+  for (std::size_t n = 0; n < num_nodes; ++n) {
+    ws.a_base.at(n, n) += ctx.gmin;
+    if (!ws.pattern_valid) ws.pattern[n * size + n] = 1;
+  }
+
+  // Restore the baseline and restamp only the nonlinear devices; the
+  // resulting (A, b) is bit-identical to assemble() because the stamp
+  // order (linear, gmin, nonlinear) is the same.
+  const auto restamp = [&]() {
+    if (ws.plan.valid() && !ws.plan.last_factor_full()) {
+      // The previous solve only wrote inside the compiled schedule, and
+      // linear stamps never land outside it, so restoring the touched
+      // entries leaves A bitwise equal to a full copy.
+      const double* src = ws.a_base.data();
+      double* dst = ws.a.data();
+      for (const int idx : ws.plan.touched_indices()) dst[idx] = src[idx];
+    } else {
+      ws.a.copy_from(ws.a_base);
+    }
+    std::copy(ws.b_base.begin(), ws.b_base.end(), ws.b.begin());
+    Stamper stamper(ws.a, ws.b, x, num_nodes);
+    if (!ws.pattern_valid) stamper.record_pattern(&ws.pattern, size);
+    for (Device* dev : circuit_.nonlinear_devices()) {
+      dev->stamp(ctx, stamper);
+    }
+    ws.pattern_valid = true;
+    ws.x_new.assign(ws.b.begin(), ws.b.end());
+  };
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    restamp();
+    bool factored;
+    if (options.reuse_pivot_order) {
+      // solve_frozen's schedule is pivot-robust (drift just re-records
+      // the order), so a false return means a genuinely singular system —
+      // exactly when factor_and_compile/lu_solve would fail too.
+      factored = ws.plan.valid()
+                     ? ws.plan.solve_frozen(ws.a, ws.x_new,
+                                            options.pivot_degradation)
+                     : ws.plan.factor_and_compile(ws.a, ws.x_new, ws.pattern);
+    } else {
+      factored = lu_solve(ws.a, ws.x_new);
+    }
+    if (!factored) {
+      if (iterations_out) *iterations_out = iter + 1;
+      return false;
+    }
+    const bool converged = apply_update(x, ws.x_new, options);
+    if (iterations_out) *iterations_out = iter + 1;
+    if (converged && iter > 0) return true;
   }
   return false;
 }

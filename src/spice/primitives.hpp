@@ -12,6 +12,7 @@ class Resistor final : public Device {
  public:
   Resistor(std::string name, NodeId a, NodeId b, double ohms);
 
+  bool is_linear() const override { return true; }
   void stamp(const SimContext& ctx, Stamper& s) override;
   void stamp_ac(const SimContext& ctx, AcStamper& s) override;
   std::vector<NodeId> terminals() const override { return {a_, b_}; }
@@ -37,6 +38,9 @@ class Capacitor final : public Device {
 
   static constexpr double kNoIc = -1e30;
 
+  /// The companion model only reads committed step state (v_prev_,
+  /// i_prev_), never the Newton iterate.
+  bool is_linear() const override { return true; }
   void stamp(const SimContext& ctx, Stamper& s) override;
   void stamp_ac(const SimContext& ctx, AcStamper& s) override;
   void start_transient(const SimContext& ctx,
@@ -70,6 +74,7 @@ class Inductor final : public Device {
   Inductor(std::string name, NodeId a, NodeId b, double henries);
 
   int num_aux() const override { return 1; }
+  bool is_linear() const override { return true; }
   void stamp(const SimContext& ctx, Stamper& s) override;
   void stamp_ac(const SimContext& ctx, AcStamper& s) override;
   void start_transient(const SimContext& ctx,
@@ -96,6 +101,7 @@ class VSource final : public Device {
   VSource(std::string name, NodeId plus, NodeId minus, double dc_volts);
 
   int num_aux() const override { return 1; }
+  bool is_linear() const override { return true; }
   void stamp(const SimContext& ctx, Stamper& s) override;
   void stamp_ac(const SimContext& ctx, AcStamper& s) override;
   double delivered_power(const SimContext& ctx,
@@ -135,6 +141,7 @@ class ISource final : public Device {
   ISource(std::string name, NodeId from, NodeId to, Waveform waveform);
   ISource(std::string name, NodeId from, NodeId to, double dc_amps);
 
+  bool is_linear() const override { return true; }
   void stamp(const SimContext& ctx, Stamper& s) override;
   double delivered_power(const SimContext& ctx,
                          const std::vector<double>& x) const override;
@@ -167,6 +174,8 @@ class VSwitch final : public Device {
 
   VSwitch(std::string name, NodeId a, NodeId b, NodeId ctrl, Params params);
 
+  /// Nonlinear (inherited default): the stamp linearizes around the
+  /// control voltage read from the Newton iterate.
   void stamp(const SimContext& ctx, Stamper& s) override;
   void stamp_ac(const SimContext& ctx, AcStamper& s) override;
   std::vector<NodeId> terminals() const override { return {a_, b_, ctrl_}; }
@@ -190,6 +199,7 @@ class Vccs final : public Device {
   Vccs(std::string name, NodeId out_p, NodeId out_n, NodeId ctrl_p,
        NodeId ctrl_n, double gm);
 
+  bool is_linear() const override { return true; }
   void stamp(const SimContext& ctx, Stamper& s) override;
   void stamp_ac(const SimContext& ctx, AcStamper& s) override;
   std::vector<NodeId> terminals() const override {
@@ -215,6 +225,7 @@ class Vcvs final : public Device {
        NodeId ctrl_n, double gain);
 
   int num_aux() const override { return 1; }
+  bool is_linear() const override { return true; }
   void stamp(const SimContext& ctx, Stamper& s) override;
   void stamp_ac(const SimContext& ctx, AcStamper& s) override;
   std::vector<NodeId> terminals() const override {

@@ -111,43 +111,4 @@ std::vector<SweepPoint> run_sweep(Circuit& circuit, const SweepSpec& spec,
   return points;
 }
 
-// Legacy wrappers delegate to run_sweep; the deprecation attributes on
-// their declarations would otherwise warn on these definitions too.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-std::vector<SweepPoint> dc_sweep(Circuit& circuit,
-                                 const std::vector<double>& values,
-                                 const std::function<void(double)>& apply,
-                                 double temperature_c,
-                                 const NewtonOptions& options) {
-  SweepSpec spec;
-  spec.values = values;
-  spec.apply = [&apply](Circuit& /*unused*/, double v) { apply(v); };
-  spec.continuation = true;
-  spec.temperature_c = temperature_c;
-  spec.options = options;
-  return run_sweep(circuit, spec);
-}
-
-std::vector<SweepPoint> dc_sweep_vsource(Circuit& circuit, VSource& source,
-                                         double lo, double hi, double step,
-                                         double temperature_c,
-                                         const NewtonOptions& options) {
-  return dc_sweep(
-      circuit, linspace_step(lo, hi, step),
-      [&source](double v) { source.set_dc(v); }, temperature_c, options);
-}
-
-std::vector<SweepPoint> temperature_sweep(Circuit& circuit,
-                                          const std::vector<double>& temps_c,
-                                          const NewtonOptions& options) {
-  SweepSpec spec;
-  spec.values = temps_c;
-  spec.options = options;
-  return run_sweep(circuit, spec);
-}
-
-#pragma GCC diagnostic pop
-
 }  // namespace sfc::spice

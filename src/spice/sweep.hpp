@@ -11,9 +11,9 @@
 // Independent (continuation == false) sweeps always solve a fresh
 // Circuit::clone() per point — also at threads == 1 — so the result is a
 // pure function of (circuit, spec) and bit-identical at any thread count.
-// The legacy dc_sweep_vsource / dc_sweep / temperature_sweep signatures
-// remain as thin deprecated wrappers; see DESIGN.md ("Concurrency model &
-// API migration") for how to port callers.
+// See DESIGN.md ("Concurrency model & API migration") for how the removed
+// dc_sweep_vsource / dc_sweep / temperature_sweep signatures map onto
+// SweepSpec.
 #pragma once
 
 #include <functional>
@@ -56,30 +56,6 @@ struct SweepSpec {
 std::vector<SweepPoint> run_sweep(Circuit& circuit, const SweepSpec& spec,
                                   const sfc::exec::ExecPolicy& exec = {},
                                   sfc::exec::JobReport* report = nullptr);
-
-/// Sweep the DC level of a voltage source from `lo` to `hi` inclusive in
-/// increments of `step` (the source's waveform is replaced).
-[[deprecated("use run_sweep(circuit, SweepSpec{...}) instead")]]
-std::vector<SweepPoint> dc_sweep_vsource(Circuit& circuit, VSource& source,
-                                         double lo, double hi, double step,
-                                         double temperature_c,
-                                         const NewtonOptions& options = {});
-
-/// Generic sweep: `apply(value)` mutates the circuit before each solve.
-[[deprecated("use run_sweep(circuit, SweepSpec{...}) instead")]]
-std::vector<SweepPoint> dc_sweep(Circuit& circuit,
-                                 const std::vector<double>& values,
-                                 const std::function<void(double)>& apply,
-                                 double temperature_c,
-                                 const NewtonOptions& options = {});
-
-/// Temperature sweep of a fixed circuit (no continuation across points —
-/// device nonlinearity changes with T, so a fresh solve is safer).
-[[deprecated(
-    "use run_sweep(circuit, SweepSpec{.values = temps_c}) instead")]]
-std::vector<SweepPoint> temperature_sweep(Circuit& circuit,
-                                          const std::vector<double>& temps_c,
-                                          const NewtonOptions& options = {});
 
 /// Inclusive linear grid helper: lo, lo+step, ..., hi.
 std::vector<double> linspace_step(double lo, double hi, double step);

@@ -78,7 +78,8 @@ TEST(LuSolve, RandomSystemsRoundTrip) {
       for (std::size_t j = 0; j < n; ++j) b[i] += a.at(i, j) * x_true[j];
     }
     std::vector<double> x;
-    ASSERT_TRUE(lu_solve_copy(a, b, x));
+    DenseMatrix scratch;
+    ASSERT_TRUE(lu_solve_copy(a, b, x, scratch));
     for (std::size_t i = 0; i < n; ++i) {
       EXPECT_NEAR(x[i], x_true[i], 1e-8) << "trial " << trial << " i " << i;
     }
@@ -91,7 +92,8 @@ TEST(LuSolve, CopyVariantPreservesInputs) {
   a.at(1, 1) = 4.0;
   const std::vector<double> b = {2.0, 8.0};
   std::vector<double> x;
-  ASSERT_TRUE(lu_solve_copy(a, b, x));
+  DenseMatrix scratch;
+  ASSERT_TRUE(lu_solve_copy(a, b, x, scratch));
   EXPECT_DOUBLE_EQ(a.at(0, 0), 2.0);
   EXPECT_DOUBLE_EQ(b[1], 8.0);
   EXPECT_DOUBLE_EQ(x[0], 1.0);

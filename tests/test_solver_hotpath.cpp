@@ -1,0 +1,478 @@
+// Solver hot-path validation: the compiled stamp-plan assembly and the
+// frozen-pivot LU must be *bit-identical* to the legacy full-restamp /
+// full-pivot path — not tolerance-close — on the paper's circuits, and
+// the steady-state Newton loop must not touch the heap.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "cim/array.hpp"
+#include "spice/engine.hpp"
+#include "spice/matrix.hpp"
+#include "spice/netlist.hpp"
+#include "spice/primitives.hpp"
+#include "spice/sweep.hpp"
+
+// ---------------------------------------------------------------------
+// Global allocation counter. Only the delta between snapshots matters;
+// gtest and the fixtures allocate freely outside the counted regions.
+// ---------------------------------------------------------------------
+namespace {
+std::atomic<long> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_alloc_count;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  ++g_alloc_count;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace sfc::spice {
+namespace {
+
+// Bitwise equality — distinguishes +0.0 from -0.0 and never tolerates
+// rounding drift. NaN == NaN under memcmp, unlike operator==.
+bool bits_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+void expect_vectors_bitwise_equal(const std::vector<double>& a,
+                                  const std::vector<double>& b,
+                                  const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(bits_equal(a[i], b[i]))
+        << what << "[" << i << "]: " << a[i] << " vs " << b[i];
+  }
+}
+
+void expect_transients_bitwise_equal(const TransientResult& a,
+                                     const TransientResult& b) {
+  ASSERT_EQ(a.converged, b.converged);
+  ASSERT_EQ(a.num_samples(), b.num_samples());
+  expect_vectors_bitwise_equal(a.time(), b.time(), "time");
+  ASSERT_EQ(a.signal_names(), b.signal_names());
+  for (const auto& name : a.signal_names()) {
+    expect_vectors_bitwise_equal(a.waveform(name), b.waveform(name),
+                                 "waveform " + name);
+  }
+  for (const auto& [source, energy] : a.source_energy) {
+    const auto it = b.source_energy.find(source);
+    ASSERT_NE(it, b.source_energy.end()) << source;
+    EXPECT_TRUE(bits_equal(energy, it->second)) << "energy " << source;
+  }
+}
+
+NewtonOptions legacy_options() {
+  NewtonOptions o;
+  o.use_stamp_plan = false;
+  return o;
+}
+
+NewtonOptions hot_options(bool reuse_pivots = true) {
+  NewtonOptions o;
+  o.use_stamp_plan = true;
+  o.reuse_pivot_order = reuse_pivots;
+  return o;
+}
+
+// ---------------------------------------------------------------------
+// Fig. 7 cell: DC operating point, legacy vs stamp plan.
+// ---------------------------------------------------------------------
+
+TEST(SolverHotPath, Fig7CellDcBitIdentical) {
+  cim::ArrayConfig cfg = cim::ArrayConfig::proposed_2t1fefet();
+  cfg.cells_per_row = 1;
+  cim::CiMRow row(cfg);
+  row.set_stored({1});
+
+  Engine legacy_engine(row.circuit(), 27.0);
+  const DcResult ref = legacy_engine.dc_operating_point(legacy_options());
+  ASSERT_TRUE(ref.converged);
+
+  for (const bool reuse : {false, true}) {
+    Engine hot_engine(row.circuit(), 27.0);
+    const DcResult hot = hot_engine.dc_operating_point(hot_options(reuse));
+    ASSERT_TRUE(hot.converged);
+    EXPECT_EQ(hot.iterations, ref.iterations) << "reuse=" << reuse;
+    EXPECT_TRUE(bits_equal(hot.gmin_used, ref.gmin_used));
+    expect_vectors_bitwise_equal(hot.x, ref.x,
+                                 reuse ? "x (frozen pivots)" : "x");
+  }
+}
+
+// ---------------------------------------------------------------------
+// Fig. 8 row: full 8-cell MAC transient, legacy vs stamp plan. This is
+// the benchmark workload, so bit-identity here directly validates the
+// numbers in BENCH_solver.json.
+// ---------------------------------------------------------------------
+
+TEST(SolverHotPath, Fig8RowTransientBitIdentical) {
+  cim::ArrayConfig legacy_cfg = cim::ArrayConfig::proposed_2t1fefet();
+  legacy_cfg.newton.use_stamp_plan = false;
+  cim::ArrayConfig hot_cfg = cim::ArrayConfig::proposed_2t1fefet();
+  hot_cfg.newton.use_stamp_plan = true;
+
+  const std::vector<int> stored = {1, 0, 1, 1, 0, 1, 0, 1};
+  const std::vector<int> inputs = {1, 1, 0, 1, 0, 1, 1, 0};
+
+  cim::CiMRow legacy_row(legacy_cfg);
+  legacy_row.set_stored(stored);
+  const cim::MacResult ref =
+      legacy_row.evaluate(inputs, 27.0, /*keep_waveforms=*/true);
+  ASSERT_TRUE(ref.converged);
+
+  cim::CiMRow hot_row(hot_cfg);
+  hot_row.set_stored(stored);
+  const cim::MacResult hot =
+      hot_row.evaluate(inputs, 27.0, /*keep_waveforms=*/true);
+  ASSERT_TRUE(hot.converged);
+
+  EXPECT_TRUE(bits_equal(hot.v_acc, ref.v_acc));
+  EXPECT_TRUE(bits_equal(hot.energy_joules, ref.energy_joules));
+  EXPECT_EQ(hot.newton_iterations, ref.newton_iterations);
+  expect_vectors_bitwise_equal(hot.v_cell, ref.v_cell, "v_cell");
+  expect_transients_bitwise_equal(hot.waveforms, ref.waveforms);
+}
+
+// ---------------------------------------------------------------------
+// Netlist-parsed deck: mixed linear/nonlinear cards through the parser.
+// ---------------------------------------------------------------------
+
+TEST(SolverHotPath, NetlistDeckTransientBitIdentical) {
+  const std::string deck = R"(
+* mixed-card deck: MOSFET inverter driving an RC + diode clamp
+.model mynmos nmos vth0=0.45 n=1.3
+VDD vdd 0 1.2
+VIN in 0 PULSE(0 1.2 1n 0.1n 0.1n 3n 10n)
+RD vdd out 10k
+M1 out in 0 mynmos w=100n l=20n
+RL out mid 2k
+C1 mid 0 0.5p ic=0
+D1 mid 0 is=1e-15
+.tran 0.05n 6n
+)";
+
+  auto run = [&deck](bool use_stamp_plan) {
+    Circuit ckt;
+    const NetlistDeck d = parse_netlist(deck, ckt);
+    Engine engine(ckt, 27.0);
+    TransientOptions opts;
+    opts.dt = d.tran.at(0).dt;
+    opts.newton.use_stamp_plan = use_stamp_plan;
+    return engine.transient(d.tran.at(0).t_stop, opts);
+  };
+
+  const TransientResult ref = run(false);
+  ASSERT_TRUE(ref.converged);
+  const TransientResult hot = run(true);
+  expect_transients_bitwise_equal(hot, ref);
+  EXPECT_EQ(hot.total_newton_iterations, ref.total_newton_iterations);
+}
+
+// ---------------------------------------------------------------------
+// Thread-count independence: a temperature sweep must be bit-identical
+// across assembly paths AND across ExecPolicy thread counts.
+// ---------------------------------------------------------------------
+
+TEST(SolverHotPath, TemperatureSweepBitIdenticalAt1And8Threads) {
+  cim::ArrayConfig cfg = cim::ArrayConfig::proposed_2t1fefet();
+  cfg.cells_per_row = 2;
+  cim::CiMRow row(cfg);
+  row.set_stored({1, 1});
+
+  SweepSpec spec;
+  spec.values = linspace_count(-25.0, 100.0, 6);  // temperature sweep
+
+  auto run = [&](bool use_stamp_plan, int threads) {
+    spec.options = use_stamp_plan ? hot_options() : legacy_options();
+    sfc::exec::ExecPolicy exec;
+    exec.threads = threads;
+    return run_sweep(row.circuit(), spec, exec);
+  };
+
+  const auto ref = run(false, 1);
+  ASSERT_EQ(ref.size(), spec.values.size());
+  for (const auto& p : ref) ASSERT_TRUE(p.op.converged);
+
+  struct Case {
+    bool hot;
+    int threads;
+  };
+  for (const Case c : {Case{false, 8}, Case{true, 1}, Case{true, 8}}) {
+    const auto pts = run(c.hot, c.threads);
+    ASSERT_EQ(pts.size(), ref.size());
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      expect_vectors_bitwise_equal(
+          pts[i].op.x, ref[i].op.x,
+          "sweep point " + std::to_string(i) + " (hot=" +
+              std::to_string(c.hot) + ", threads=" +
+              std::to_string(c.threads) + ")");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// LuPlan: frozen-pivot replay vs dense full pivoting, and the fallback
+// triggers (argmax moved / pivot degraded) on ill-conditioned updates.
+// ---------------------------------------------------------------------
+
+DenseMatrix matrix_from(const std::vector<std::vector<double>>& rows) {
+  DenseMatrix m(rows.size(), rows.size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t c = 0; c < rows.size(); ++c) m.at(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+std::vector<char> pattern_of(const DenseMatrix& m) {
+  std::vector<char> pattern(m.rows() * m.cols(), 0);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      pattern[r * m.cols() + c] = m.at(r, c) != 0.0 ? 1 : 0;
+    }
+  }
+  return pattern;
+}
+
+TEST(LuPlanFallback, FrozenSolveMatchesDenseBitwise) {
+  // Asymmetric system with an off-diagonal pivot (row 2 wins column 0)
+  // and a structural zero block, so the compiled schedule is a strict
+  // subset of the dense loop.
+  const std::vector<std::vector<double>> base = {
+      {1.0, 2.0, 0.0},
+      {0.5, 1e-3, 4.0},
+      {3.0, 0.0, 1.0},
+  };
+  const std::vector<double> rhs = {1.0, -2.0, 0.5};
+
+  DenseMatrix a0 = matrix_from(base);
+  const std::vector<char> pattern = pattern_of(a0);
+  std::vector<double> b0 = rhs;
+
+  LuPlan plan;
+  ASSERT_TRUE(plan.factor_and_compile(a0, b0, pattern));
+  ASSERT_TRUE(plan.valid());
+  EXPECT_GT(plan.compiled_ops(), 0u);
+
+  DenseMatrix dense = matrix_from(base);
+  std::vector<double> b_dense = rhs;
+  ASSERT_TRUE(lu_solve(dense, b_dense));
+  expect_vectors_bitwise_equal(b0, b_dense, "factor_and_compile solution");
+
+  // Same structure, perturbed values that keep the pivot order: the
+  // frozen solve must complete without a refreeze and match the dense
+  // solve bit for bit.
+  std::vector<std::vector<double>> perturbed = base;
+  perturbed[0][0] = 1.25;
+  perturbed[1][2] = 3.5;
+  perturbed[2][0] = 2.75;
+  DenseMatrix a1 = matrix_from(perturbed);
+  std::vector<double> b1 = rhs;
+  ASSERT_TRUE(plan.solve_frozen(a1, b1, 1e-6));
+  EXPECT_EQ(plan.refreeze_count(), 0u);
+
+  DenseMatrix dense1 = matrix_from(perturbed);
+  std::vector<double> b_dense1 = rhs;
+  ASSERT_TRUE(lu_solve(dense1, b_dense1));
+  expect_vectors_bitwise_equal(b1, b_dense1, "solve_frozen solution");
+}
+
+TEST(LuPlanFallback, ArgmaxChangeRefreezesAndStaysBitIdentical) {
+  const std::vector<std::vector<double>> base = {
+      {1.0, 2.0, 0.0},
+      {0.5, 1e-3, 4.0},
+      {3.0, 0.0, 1.0},
+  };
+  DenseMatrix a0 = matrix_from(base);
+  const std::vector<char> pattern = pattern_of(a0);
+  std::vector<double> b0 = {1.0, -2.0, 0.5};
+  LuPlan plan;
+  ASSERT_TRUE(plan.factor_and_compile(a0, b0, pattern));
+
+  // Row 0 now dominates column 0, so the frozen choice (row 2) is no
+  // longer the partial-pivot argmax: the plan must fall back to dense
+  // pivoting mid-solve rather than silently diverge from lu_solve().
+  std::vector<std::vector<double>> swapped = base;
+  swapped[0][0] = 10.0;
+  DenseMatrix a1 = matrix_from(swapped);
+  std::vector<double> b1 = {1.0, -2.0, 0.5};
+  ASSERT_TRUE(plan.solve_frozen(a1, b1, 1e-6));
+  EXPECT_EQ(plan.refreeze_count(), 1u);
+  DenseMatrix dense = matrix_from(swapped);
+  std::vector<double> b_dense = {1.0, -2.0, 0.5};
+  ASSERT_TRUE(lu_solve(dense, b_dense));
+  expect_vectors_bitwise_equal(b1, b_dense, "drifted solution");
+
+  // Self-healing: the refreeze recorded the new order, so re-solving the
+  // same system stays on the frozen path and still matches dense.
+  DenseMatrix a2 = matrix_from(swapped);
+  std::vector<double> b2 = {1.0, -2.0, 0.5};
+  ASSERT_TRUE(plan.solve_frozen(a2, b2, 1e-6));
+  EXPECT_EQ(plan.refreeze_count(), 1u);
+  expect_vectors_bitwise_equal(b2, b_dense, "refrozen solution");
+}
+
+TEST(LuPlanFallback, DegradedPivotTriggersRefreeze) {
+  // Diagonally dominant, so the frozen order is the identity and stays
+  // the argmax even after shrinking — only the degradation rule can (and
+  // must) trip on this deliberately ill-conditioned update.
+  const std::vector<std::vector<double>> base = {
+      {4.0, 1.0},
+      {1.0, 4.0},
+  };
+  DenseMatrix a0 = matrix_from(base);
+  const std::vector<char> pattern = pattern_of(a0);
+  std::vector<double> b0 = {1.0, 1.0};
+  LuPlan plan;
+  ASSERT_TRUE(plan.factor_and_compile(a0, b0, pattern));
+
+  // Scale so row 0 keeps the column-0 argmax but the pivot magnitude
+  // collapses by 1e8 relative to freeze time: the degradation rule must
+  // force the dense fallback (refreeze), and the answer still matches
+  // the dense factorization bitwise.
+  std::vector<std::vector<double>> shrunk = base;
+  shrunk[0][0] = 4.0e-8;
+  shrunk[0][1] = 1.0e-8;
+  shrunk[1][0] = 0.5e-8;
+  shrunk[1][1] = 4.0e-8;
+  DenseMatrix a1 = matrix_from(shrunk);
+  std::vector<double> b1 = {1.0, 1.0};
+  ASSERT_TRUE(plan.solve_frozen(a1, b1, 1e-6));
+  EXPECT_EQ(plan.refreeze_count(), 1u);
+  DenseMatrix dense = matrix_from(shrunk);
+  std::vector<double> b_dense = {1.0, 1.0};
+  ASSERT_TRUE(lu_solve(dense, b_dense));
+  expect_vectors_bitwise_equal(b1, b_dense, "degraded-pivot solution");
+
+  // A permissive threshold on a fresh plan accepts the same shrink
+  // without any refreeze.
+  DenseMatrix a2 = matrix_from(base);
+  std::vector<double> b2 = {1.0, 1.0};
+  LuPlan fresh;
+  ASSERT_TRUE(fresh.factor_and_compile(a2, b2, pattern));
+  DenseMatrix a3 = matrix_from(shrunk);
+  std::vector<double> b3 = {1.0, 1.0};
+  ASSERT_TRUE(fresh.solve_frozen(a3, b3, 1e-12));
+  EXPECT_EQ(fresh.refreeze_count(), 0u);
+  expect_vectors_bitwise_equal(b3, b_dense, "permissive frozen solution");
+}
+
+TEST(LuPlanFallback, SingularUpdateInvalidatesPlan) {
+  const std::vector<std::vector<double>> base = {
+      {2.0, 1.0},
+      {1.0, 2.0},
+  };
+  DenseMatrix a0 = matrix_from(base);
+  const std::vector<char> pattern = pattern_of(a0);
+  std::vector<double> b0 = {1.0, 1.0};
+  LuPlan plan;
+  ASSERT_TRUE(plan.factor_and_compile(a0, b0, pattern));
+
+  // Rank-1 update: both rows proportional. Dense LU fails, and so must
+  // the frozen solve — invalidating the plan instead of dividing by a
+  // vanishing pivot.
+  const std::vector<std::vector<double>> singular = {
+      {2.0, 1.0},
+      {4.0, 2.0},
+  };
+  DenseMatrix a1 = matrix_from(singular);
+  std::vector<double> b1 = {1.0, 1.0};
+  EXPECT_FALSE(plan.solve_frozen(a1, b1, 1e-6));
+  EXPECT_FALSE(plan.valid());
+}
+
+// ---------------------------------------------------------------------
+// Engine-level fallback: an update that degrades the pivots mid-solve
+// must still converge to the legacy answer (through refactoring), not
+// fail or drift.
+// ---------------------------------------------------------------------
+
+TEST(SolverHotPath, SwitchTransitionSurvivesPivotFallback) {
+  // A steep switch swings its stamped conductance over ~12 decades
+  // between Newton iterates — exactly the pivot-degradation scenario.
+  auto build = [](Circuit& ckt) {
+    VSwitch::Params params;
+    params.r_on = 10.0;
+    params.r_off = 1e12;
+    params.v_threshold = 0.5;
+    params.v_width = 0.01;
+    const auto in = ckt.node("in");
+    const auto out = ckt.node("out");
+    const auto ctrl = ckt.node("ctrl");
+    ckt.add<VSource>("V1", in, kGround, 1.0);
+    ckt.add<VSource>("VC", ctrl, kGround, 0.501);  // right at threshold
+    ckt.add<VSwitch>("S1", in, out, ctrl, params);
+    ckt.add<Resistor>("RL", out, kGround, 1000.0);
+  };
+
+  Circuit legacy_ckt;
+  build(legacy_ckt);
+  Engine legacy_engine(legacy_ckt, 27.0);
+  const DcResult ref = legacy_engine.dc_operating_point(legacy_options());
+  ASSERT_TRUE(ref.converged);
+
+  Circuit hot_ckt;
+  build(hot_ckt);
+  Engine hot_engine(hot_ckt, 27.0);
+  const DcResult hot = hot_engine.dc_operating_point(hot_options());
+  ASSERT_TRUE(hot.converged);
+  expect_vectors_bitwise_equal(hot.x, ref.x, "switch op x");
+}
+
+// ---------------------------------------------------------------------
+// Steady state allocates nothing: once the workspace is warm, a full
+// newton_solve() — restamp, frozen factorization, update — must not
+// touch the heap.
+// ---------------------------------------------------------------------
+
+TEST(SolverHotPath, SteadyStateNewtonSolveDoesNotAllocate) {
+  cim::ArrayConfig cfg = cim::ArrayConfig::proposed_2t1fefet();
+  cfg.cells_per_row = 4;
+  cim::CiMRow row(cfg);
+  row.set_stored({1, 0, 1, 1});
+
+  row.circuit().finalize();  // aux variables counted before system_size()
+  Engine engine(row.circuit(), 27.0);
+  SimContext ctx;
+  ctx.mode = AnalysisMode::kDcOperatingPoint;
+  ctx.temperature_c = 27.0;
+  ctx.gmin = NewtonOptions{}.gmin_final;
+  ctx.num_nodes = row.circuit().num_nodes();
+
+  const NewtonOptions options = hot_options();
+  std::vector<double> x(row.circuit().system_size(), 0.0);
+  int iterations = 0;
+  // Warm-up: sizes the workspace, records the pattern, freezes pivots.
+  ASSERT_TRUE(engine.newton_solve(ctx, x, options, &iterations));
+  ASSERT_TRUE(engine.workspace().plan.valid());
+  EXPECT_GT(engine.workspace().plan.compiled_ops(), 0u);
+
+  // Steady state: resolving from the converged point re-runs the full
+  // iterate-restamp-solve loop (Newton needs >= 2 iterations to declare
+  // convergence) without a single allocation.
+  const long before = g_alloc_count.load();
+  const bool ok = engine.newton_solve(ctx, x, options, &iterations);
+  const long after = g_alloc_count.load();
+  ASSERT_TRUE(ok);
+  EXPECT_GE(iterations, 1);
+  EXPECT_EQ(after - before, 0) << "newton_solve allocated on the steady-"
+                                  "state path";
+}
+
+}  // namespace
+}  // namespace sfc::spice

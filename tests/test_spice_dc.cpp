@@ -214,44 +214,6 @@ TEST(DcSweep, LinearResistorSweepIsLinear) {
   }
 }
 
-TEST(DcSweep, DeprecatedWrappersMatchRunSweep) {
-  // The legacy entry points must keep compiling and produce the same
-  // points as the unified API they now delegate to.
-  Circuit ckt;
-  const auto in = ckt.node("in");
-  const auto mid = ckt.node("mid");
-  auto& v1 = ckt.add<VSource>("V1", in, kGround, 0.0);
-  ckt.add<Resistor>("R1", in, mid, 1000.0);
-  ckt.add<Resistor>("R2", mid, kGround, 1000.0);
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const auto legacy = dc_sweep_vsource(ckt, v1, 0.0, 2.0, 0.5, 27.0);
-  const auto legacy_t = temperature_sweep(ckt, {0.0, 27.0, 85.0});
-#pragma GCC diagnostic pop
-
-  SweepSpec spec;
-  spec.values = linspace_step(0.0, 2.0, 0.5);
-  spec.apply = [](Circuit& c, double v) {
-    static_cast<VSource*>(c.find("V1"))->set_dc(v);
-  };
-  spec.continuation = true;
-  const auto unified = run_sweep(ckt, spec);
-  ASSERT_EQ(legacy.size(), unified.size());
-  for (std::size_t i = 0; i < legacy.size(); ++i) {
-    EXPECT_DOUBLE_EQ(legacy[i].op.voltage("mid"), unified[i].op.voltage("mid"));
-  }
-
-  SweepSpec temp_spec;
-  temp_spec.values = {0.0, 27.0, 85.0};
-  const auto unified_t = run_sweep(ckt, temp_spec);
-  ASSERT_EQ(legacy_t.size(), unified_t.size());
-  for (std::size_t i = 0; i < legacy_t.size(); ++i) {
-    EXPECT_DOUBLE_EQ(legacy_t[i].op.voltage("mid"),
-                     unified_t[i].op.voltage("mid"));
-  }
-}
-
 TEST(Sweep, LinspaceHelpers) {
   const auto grid = linspace_step(0.0, 1.0, 0.25);
   ASSERT_EQ(grid.size(), 5u);
