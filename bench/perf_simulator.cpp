@@ -18,6 +18,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -31,6 +32,7 @@
 #include "spice/engine.hpp"
 #include "spice/primitives.hpp"
 #include "util/rng.hpp"
+#include "verify/json.hpp"
 
 using namespace sfc;
 
@@ -367,46 +369,46 @@ KernelResult kernel_montecarlo(int samples) {
   return kr;
 }
 
+/// Round to a fixed decimal precision so re-runs differ only where the
+/// measurement genuinely moved (and by a diff-friendly amount).
+double rounded(double v, double decade) { return std::round(v * decade) / decade; }
+
 void write_json(const char* path, const std::vector<KernelResult>& kernels) {
-  FILE* f = std::fopen(path, "w");
-  if (!f) {
-    std::fprintf(stderr, "bench-smoke: cannot open %s for writing\n", path);
+  using verify::Json;
+  // Canonical, schema-stable layout: sorted keys (Json objects are
+  // std::map) and fixed precision; validated by `verify_runner check-bench`.
+  Json root = Json::object();
+  root.set("schema_version", Json(2.0));
+  root.set("benchmark", Json(std::string("solver_hotpath_smoke")));
+  root.set("build_type", Json(std::string(SFC_BUILD_TYPE)));
+  root.set("headline_kernel", Json(std::string("transient_fig8_array")));
+  root.set("target_speedup", Json(2.0));
+  root.set("threads", Json(1.0));
+  Json arr = Json::array();
+  for (const KernelResult& k : kernels) {
+    Json kj = Json::object();
+    kj.set("name", Json(std::string(k.name)));
+    kj.set("detail", Json(std::string(k.detail)));
+    kj.set("samples", Json(static_cast<double>(k.samples)));
+    kj.set("legacy_ms", Json(rounded(k.legacy.median_ms(), 1e4)));
+    kj.set("legacy_p90_ms", Json(rounded(k.legacy.p90_ms(), 1e4)));
+    kj.set("hot_ms", Json(rounded(k.hot.median_ms(), 1e4)));
+    kj.set("hot_p90_ms", Json(rounded(k.hot.p90_ms(), 1e4)));
+    kj.set("speedup", Json(rounded(k.speedup(), 1e3)));
+    kj.set("newton_iterations",
+           Json(static_cast<double>(k.hot.newton_iterations)));
+    kj.set("solves_per_sec", Json(rounded(k.hot.solves_per_sec(), 1e1)));
+    kj.set("bit_identical", Json(k.bit_identical));
+    kj.set("converged", Json(k.converged));
+    arr.as_array().push_back(std::move(kj));
+  }
+  root.set("kernels", std::move(arr));
+  try {
+    verify::write_json_file(path, root);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench-smoke: %s\n", e.what());
     return;
   }
-  std::fprintf(f,
-               "{\n"
-               "  \"benchmark\": \"solver_hotpath_smoke\",\n"
-               "  \"build_type\": \"%s\",\n"
-               "  \"headline_kernel\": \"transient_fig8_array\",\n"
-               "  \"target_speedup\": 2.0,\n"
-               "  \"kernels\": [\n",
-               SFC_BUILD_TYPE);
-  for (std::size_t i = 0; i < kernels.size(); ++i) {
-    const KernelResult& k = kernels[i];
-    std::fprintf(
-        f,
-        "    {\n"
-        "      \"name\": \"%s\",\n"
-        "      \"detail\": \"%s\",\n"
-        "      \"samples\": %d,\n"
-        "      \"legacy_median_ms\": %.4f,\n"
-        "      \"legacy_p90_ms\": %.4f,\n"
-        "      \"hot_median_ms\": %.4f,\n"
-        "      \"hot_p90_ms\": %.4f,\n"
-        "      \"speedup\": %.3f,\n"
-        "      \"newton_iterations\": %ld,\n"
-        "      \"hot_solves_per_sec\": %.1f,\n"
-        "      \"bit_identical\": %s,\n"
-        "      \"converged\": %s\n"
-        "    }%s\n",
-        k.name, k.detail, k.samples, k.legacy.median_ms(), k.legacy.p90_ms(),
-        k.hot.median_ms(), k.hot.p90_ms(), k.speedup(),
-        k.hot.newton_iterations, k.hot.solves_per_sec(),
-        k.bit_identical ? "true" : "false", k.converged ? "true" : "false",
-        i + 1 < kernels.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
   std::printf("bench-smoke: wrote %s\n", path);
 }
 

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# One-shot verification gate: configure, build, run the full test suite,
+# the verification layer, and the tracked solver benchmark with schema
+# validation. This is the tier-1 entry point — if this script exits 0 the
+# tree is good.
+#
+# Usage: scripts/check.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "configure (${BUILD_DIR})"
+cmake -B "${BUILD_DIR}" -S . >/dev/null
+
+step "build (-j${JOBS})"
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+
+step "full test suite"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+
+step "verification layer (ctest -L verify)"
+ctest --test-dir "${BUILD_DIR}" -L verify --output-on-failure -j "${JOBS}"
+
+step "golden / oracle / fuzz summary (verify_runner)"
+"${BUILD_DIR}/tools/verify_runner" golden
+"${BUILD_DIR}/tools/verify_runner" oracle
+"${BUILD_DIR}/tools/verify_runner" fuzz --count 200 --dump "${BUILD_DIR}"
+
+step "solver benchmark smoke + JSON schema validation"
+"${BUILD_DIR}/bench/perf_simulator" --smoke --json "${BUILD_DIR}/BENCH_solver.json"
+"${BUILD_DIR}/tools/verify_runner" check-bench "${BUILD_DIR}/BENCH_solver.json"
+
+step "all checks passed"

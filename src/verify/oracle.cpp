@@ -1,0 +1,276 @@
+#include "verify/oracle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "cim/array.hpp"
+#include "cim/behavioral.hpp"
+#include "cim/montecarlo.hpp"
+#include "spice/engine.hpp"
+#include "verify/json.hpp"
+
+namespace sfc::verify {
+
+std::string OracleReport::summary() const {
+  std::ostringstream ss;
+  ss << name << ": " << (match ? "MATCH" : "DIVERGED") << " ("
+     << points_compared << " points";
+  if (!match) ss << ", " << divergences << " diverging";
+  ss << ")\n  A: " << arm_a << "\n  B: " << arm_b;
+  if (first) {
+    ss << "\n  first divergence: " << first->quantity << "[" << first->index
+       << "]";
+    if (!first->label.empty()) ss << " at " << first->label;
+    ss << ": A=" << Json::format_number(first->a)
+       << " B=" << Json::format_number(first->b);
+  }
+  for (const auto& n : notes) ss << "\n  note: " << n;
+  return ss.str();
+}
+
+void OracleReport::diff_series(
+    const std::string& quantity, const std::vector<double>& a,
+    const std::vector<double>& b, double tol_abs, double tol_rel,
+    const std::function<std::string(std::size_t)>& label_of) {
+  if (a.size() != b.size()) {
+    structural_failure(quantity + ": series length mismatch (" +
+                       std::to_string(a.size()) + " vs " +
+                       std::to_string(b.size()) + ")");
+    return;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ++points_compared;
+    const double allowed = tol_abs + tol_rel * std::fabs(a[i]);
+    const bool ok = std::isfinite(a[i]) && std::isfinite(b[i]) &&
+                    std::fabs(a[i] - b[i]) <= allowed;
+    if (ok) continue;
+    ++divergences;
+    match = false;
+    if (!first) {
+      first = Divergence{quantity, i, label_of ? label_of(i) : "", a[i], b[i]};
+    }
+  }
+}
+
+void OracleReport::diff_value(const std::string& quantity, double a, double b,
+                              double tol_abs, double tol_rel,
+                              const std::string& label) {
+  diff_series(quantity, {a}, {b}, tol_abs, tol_rel,
+              label.empty()
+                  ? std::function<std::string(std::size_t)>()
+                  : [&label](std::size_t) { return label; });
+}
+
+void OracleReport::structural_failure(std::string note) {
+  match = false;
+  notes.push_back(std::move(note));
+}
+
+// ---------------------------------------------------------------------------
+// Stamp plan vs legacy assembler
+// ---------------------------------------------------------------------------
+namespace {
+
+/// Two independent rows of the same config differing only in the Newton
+/// assembly path. Separate CiMRow instances (not a shared circuit) so each
+/// arm owns its device state and engine workspace.
+struct EnginePair {
+  sfc::cim::ArrayConfig hot_cfg;
+  sfc::cim::ArrayConfig leg_cfg;
+
+  explicit EnginePair(int cells) {
+    hot_cfg = sfc::cim::ArrayConfig::proposed_2t1fefet();
+    hot_cfg.cells_per_row = cells;
+    hot_cfg.newton.use_stamp_plan = true;
+    leg_cfg = hot_cfg;
+    leg_cfg.newton.use_stamp_plan = false;
+  }
+};
+
+std::string time_label(const std::vector<double>& t, std::size_t i) {
+  if (i >= t.size()) return "";
+  return "t=" + Json::format_number(t[i]);
+}
+
+}  // namespace
+
+OracleReport oracle_stampplan_vs_legacy_dc() {
+  OracleReport rep;
+  rep.name = "stampplan_vs_legacy_dc";
+  rep.arm_a = "compiled stamp-plan Newton assembly (use_stamp_plan=true)";
+  rep.arm_b = "legacy full-restamp Newton assembly (use_stamp_plan=false)";
+  const EnginePair pair(4);
+  sfc::cim::CiMRow hot_row(pair.hot_cfg), leg_row(pair.leg_cfg);
+  const std::vector<int> stored = {1, 0, 1, 1};
+  hot_row.set_stored(stored);
+  leg_row.set_stored(stored);
+  sfc::spice::Engine hot(hot_row.circuit(), 27.0);
+  sfc::spice::Engine leg(leg_row.circuit(), 27.0);
+  for (double t : {0.0, 27.0, 85.0}) {
+    hot.set_temperature_c(t);
+    leg.set_temperature_c(t);
+    const auto a = hot.dc_operating_point(pair.hot_cfg.newton);
+    const auto b = leg.dc_operating_point(pair.leg_cfg.newton);
+    if (!a.converged || !b.converged) {
+      rep.structural_failure("DC solve failed to converge at T=" +
+                             Json::format_number(t));
+      continue;
+    }
+    rep.diff_series("x_T" + Json::format_number(t), a.x, b.x);
+  }
+  return rep;
+}
+
+OracleReport oracle_stampplan_vs_legacy_transient() {
+  OracleReport rep;
+  rep.name = "stampplan_vs_legacy_transient";
+  rep.arm_a = "compiled stamp-plan engine, Fig. 8 MAC transient";
+  rep.arm_b = "legacy full-restamp engine, Fig. 8 MAC transient";
+  const EnginePair pair(8);
+  sfc::cim::CiMRow hot_row(pair.hot_cfg), leg_row(pair.leg_cfg);
+  const std::vector<int> stored = {1, 0, 1, 1, 0, 1, 0, 1};
+  const std::vector<int> inputs = {1, 1, 0, 1, 0, 1, 1, 0};
+  hot_row.set_stored(stored);
+  leg_row.set_stored(stored);
+  const auto a = hot_row.evaluate(inputs, 27.0, /*keep_waveforms=*/true);
+  const auto b = leg_row.evaluate(inputs, 27.0, /*keep_waveforms=*/true);
+  if (!a.converged || !b.converged) {
+    rep.structural_failure("MAC transient failed to converge");
+    return rep;
+  }
+  const auto& ta = a.waveforms.time();
+  rep.diff_series("time", ta, b.waveforms.time());
+  // Bit-exact contract: every recorded signal at every time step.
+  for (const auto& sig : a.waveforms.signal_names()) {
+    if (!b.waveforms.has_signal(sig)) {
+      rep.structural_failure("signal '" + sig + "' missing from legacy arm");
+      continue;
+    }
+    rep.diff_series(sig, a.waveforms.waveform(sig), b.waveforms.waveform(sig),
+                    0.0, 0.0,
+                    [&ta](std::size_t i) { return time_label(ta, i); });
+  }
+  rep.diff_value("energy_joules", a.energy_joules, b.energy_joules);
+  rep.diff_value("v_acc", a.v_acc, b.v_acc);
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
+// SPICE row vs behavioural model
+// ---------------------------------------------------------------------------
+OracleReport oracle_spice_vs_behavioral() {
+  OracleReport rep;
+  rep.name = "spice_vs_behavioral";
+  rep.arm_a = "transient CiMRow simulation (SPICE level)";
+  rep.arm_b = "calibrated BehavioralArrayModel lookup";
+  const sfc::cim::ArrayConfig cfg = sfc::cim::ArrayConfig::proposed_2t1fefet();
+  const std::vector<double> grid = {0.0, 27.0, 85.0};
+  const auto model = sfc::cim::BehavioralArrayModel::calibrate(cfg, grid);
+
+  sfc::cim::CiMRow row(cfg);
+  const int n = row.cells();
+  row.set_stored(std::vector<int>(static_cast<std::size_t>(n), 1));
+  const auto eval_mac = [&](int k, double t) {
+    std::vector<int> inputs(static_cast<std::size_t>(n), 0);
+    for (int i = 0; i < k; ++i) inputs[static_cast<std::size_t>(i)] = 1;
+    return row.evaluate(inputs, t);
+  };
+
+  // At calibration grid temperatures the lookup must reproduce the
+  // simulation it was built from exactly (same code path, same circuit).
+  for (double t : grid) {
+    std::vector<double> spice_v, model_v;
+    for (int k = 0; k <= n; ++k) {
+      const auto r = eval_mac(k, t);
+      if (!r.converged) {
+        rep.structural_failure("row transient failed to converge");
+        return rep;
+      }
+      spice_v.push_back(r.v_acc);
+      model_v.push_back(model.v_acc(k, t));
+    }
+    rep.diff_series(
+        "v_acc_T" + Json::format_number(t), spice_v, model_v, 0.0, 0.0,
+        [](std::size_t i) { return "mac" + std::to_string(i); });
+  }
+
+  // Between grid points the model interpolates; hold it to a modelling
+  // tolerance (a few mV) rather than bit-exactness.
+  {
+    const double t_mid = 55.0;
+    std::vector<double> spice_v, model_v;
+    for (int k = 0; k <= n; ++k) {
+      const auto r = eval_mac(k, t_mid);
+      if (!r.converged) {
+        rep.structural_failure("row transient failed to converge");
+        return rep;
+      }
+      spice_v.push_back(r.v_acc);
+      model_v.push_back(model.v_acc(k, t_mid));
+    }
+    rep.diff_series(
+        "v_acc_T55_interpolated", spice_v, model_v, 5e-3, 0.0,
+        [](std::size_t i) { return "mac" + std::to_string(i); });
+  }
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
+// Serial vs parallel Monte Carlo
+// ---------------------------------------------------------------------------
+OracleReport oracle_serial_vs_parallel_montecarlo(int threads) {
+  OracleReport rep;
+  rep.name = "serial_vs_parallel_montecarlo";
+  rep.arm_a = "run_montecarlo, 1 thread";
+  rep.arm_b = "run_montecarlo, " + std::to_string(threads) + " threads";
+  sfc::cim::MonteCarloConfig mc;
+  mc.runs = 6;
+  mc.sigma_vt_fefet = 0.054;
+  mc.mac_values = {0, 4, 8};
+  const sfc::cim::ArrayConfig cfg = sfc::cim::ArrayConfig::proposed_2t1fefet();
+
+  mc.exec = sfc::exec::ExecPolicy::serial();
+  const auto a = sfc::cim::run_montecarlo(cfg, mc);
+  mc.exec.threads = threads;
+  const auto b = sfc::cim::run_montecarlo(cfg, mc);
+
+  if (a.samples.size() != b.samples.size()) {
+    rep.structural_failure("sample count mismatch");
+    return rep;
+  }
+  std::vector<double> va, vb;
+  std::vector<std::string> labels;
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    if (a.samples[i].run != b.samples[i].run ||
+        a.samples[i].mac != b.samples[i].mac) {
+      rep.structural_failure("sample ordering mismatch at index " +
+                             std::to_string(i));
+      return rep;
+    }
+    va.push_back(a.samples[i].v_acc);
+    vb.push_back(b.samples[i].v_acc);
+    labels.push_back("run" + std::to_string(a.samples[i].run) + "_mac" +
+                     std::to_string(a.samples[i].mac));
+  }
+  rep.diff_series("sample.v_acc", va, vb, 0.0, 0.0,
+                  [&labels](std::size_t i) { return labels[i]; });
+  rep.diff_series("nominal_levels", a.nominal_levels, b.nominal_levels);
+  rep.diff_value("max_error_percent", a.max_error_percent,
+                 b.max_error_percent);
+  return rep;
+}
+
+const std::vector<OracleCase>& oracle_cases() {
+  static const std::vector<OracleCase> cases = {
+      {"stampplan_vs_legacy_dc", [] { return oracle_stampplan_vs_legacy_dc(); }},
+      {"stampplan_vs_legacy_transient",
+       [] { return oracle_stampplan_vs_legacy_transient(); }},
+      {"spice_vs_behavioral", [] { return oracle_spice_vs_behavioral(); }},
+      {"serial_vs_parallel_montecarlo",
+       [] { return oracle_serial_vs_parallel_montecarlo(); }},
+  };
+  return cases;
+}
+
+}  // namespace sfc::verify

@@ -237,5 +237,99 @@ TEST(Csv, EscapesAndWrites) {
   std::filesystem::remove(path);
 }
 
+// ---------------------------------------------------------------------------
+// Edge cases: empty samples, single elements, NaN propagation
+// ---------------------------------------------------------------------------
+
+TEST(Stats, EmptyInputYieldsZeroedResults) {
+  const std::vector<double> none;
+  const Summary s = summarize(none);
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.range(), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(none, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(rms(none), 0.0);
+}
+
+TEST(Stats, SingleElementSample) {
+  const std::vector<double> one = {3.25};
+  const Summary s = summarize(one);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.min, 3.25);
+  EXPECT_DOUBLE_EQ(s.max, 3.25);
+  EXPECT_DOUBLE_EQ(s.mean, 3.25);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  // Every percentile of a single sample is that sample.
+  EXPECT_DOUBLE_EQ(percentile(one, 0.0), 3.25);
+  EXPECT_DOUBLE_EQ(percentile(one, 50.0), 3.25);
+  EXPECT_DOUBLE_EQ(percentile(one, 100.0), 3.25);
+  // Correlation is undefined below two points; the contract is 0.
+  EXPECT_DOUBLE_EQ(correlation(one, one), 0.0);
+}
+
+TEST(Stats, NanPropagatesThroughMoments) {
+  const std::vector<double> v = {1.0, std::nan(""), 3.0};
+  EXPECT_TRUE(std::isnan(mean(v)));
+  EXPECT_TRUE(std::isnan(stddev(v)));
+  EXPECT_TRUE(std::isnan(rms(v)));
+  EXPECT_TRUE(std::isnan(summarize(v).mean));
+}
+
+TEST(Stats, PercentileClampsOutOfRangeQ) {
+  const std::vector<double> v = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(v, -5.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 200.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.5);
+}
+
+TEST(Interp, LerpDegenerateSegmentReturnsMidpoint) {
+  // x0 == x1 has no slope; the documented contract is the midpoint, not
+  // a division by zero.
+  EXPECT_DOUBLE_EQ(lerp(7.0, 2.0, 10.0, 2.0, 20.0), 15.0);
+}
+
+TEST(Interp, SinglePointPiecewiseLinearIsConstant) {
+  PiecewiseLinear f({{1.0, 42.0}});
+  EXPECT_DOUBLE_EQ(f(-100.0), 42.0);
+  EXPECT_DOUBLE_EQ(f(1.0), 42.0);
+  EXPECT_DOUBLE_EQ(f(100.0), 42.0);
+  EXPECT_DOUBLE_EQ(f.min_x(), 1.0);
+  EXPECT_DOUBLE_EQ(f.max_x(), 1.0);
+}
+
+TEST(Interp, NanXPropagatesThroughLerp) {
+  EXPECT_TRUE(std::isnan(lerp(std::nan(""), 0.0, 0.0, 1.0, 1.0)));
+}
+
+TEST(Csv, SingleRowFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sfc_csv_single.csv").string();
+  {
+    CsvWriter csv(path, {"only"});
+    csv.row({1.5});
+  }
+  std::ifstream in(path);
+  std::string header, row, extra;
+  EXPECT_TRUE(static_cast<bool>(std::getline(in, header)));
+  EXPECT_TRUE(static_cast<bool>(std::getline(in, row)));
+  EXPECT_FALSE(static_cast<bool>(std::getline(in, extra)));
+  EXPECT_EQ(header, "only");
+  EXPECT_EQ(row, "1.5");
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, HeaderOnlyFileIsValid) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sfc_csv_empty.csv").string();
+  { CsvWriter csv(path, {"a", "b"}); }
+  std::ifstream in(path);
+  std::string header, extra;
+  EXPECT_TRUE(static_cast<bool>(std::getline(in, header)));
+  EXPECT_EQ(header, "a,b");
+  EXPECT_FALSE(static_cast<bool>(std::getline(in, extra)));
+  std::filesystem::remove(path);
+}
+
 }  // namespace
 }  // namespace sfc::util

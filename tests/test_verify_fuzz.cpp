@@ -1,0 +1,140 @@
+// Property-based netlist fuzzer: the 200-case campaign passes
+// deterministically, generated decks round-trip through the SPICE parser,
+// and a forced invariant failure yields a minimized .cir reproducer.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "spice/circuit.hpp"
+#include "spice/netlist.hpp"
+#include "verify/fuzz.hpp"
+
+namespace sfc::verify {
+namespace {
+
+// Acceptance gate: >= 200 seeded random netlists, deterministic, well
+// inside the 60 s ctest budget (the whole campaign runs in ~1 s).
+TEST(VerifyFuzz, Campaign200CasesPassesAndIsDeterministic) {
+  FuzzOptions opt;
+  opt.count = 200;
+  opt.dump_dir = testing::TempDir();
+  const FuzzReport a = run_fuzz(opt);
+  EXPECT_TRUE(a.pass()) << a.summary();
+  EXPECT_EQ(a.executed, 200);
+  int total = 0;
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_GT(a.per_class[c], 0) << "class " << c << " never generated";
+    total += a.per_class[c];
+  }
+  EXPECT_EQ(total, 200);
+
+  const FuzzReport b = run_fuzz(opt);
+  EXPECT_EQ(a.observable_hash, b.observable_hash)
+      << "same options must reproduce bit-identical observables";
+}
+
+TEST(VerifyFuzz, DifferentSeedsExploreDifferentCircuits) {
+  FuzzOptions opt;
+  opt.count = 20;
+  opt.dump_dir = testing::TempDir();
+  const FuzzReport a = run_fuzz(opt);
+  opt.seed ^= 0xdeadbeefULL;
+  const FuzzReport b = run_fuzz(opt);
+  EXPECT_NE(a.observable_hash, b.observable_hash);
+}
+
+TEST(VerifyFuzz, GeneratedDecksRoundTripThroughParser) {
+  const FuzzOptions opt;
+  int parsed_devices = 0;
+  for (int i = 0; i < 40; ++i) {
+    const FuzzNetlist nl = generate_netlist(opt, i);
+    SCOPED_TRACE(std::string(fuzz_class_name(nl.cls)) + " #" +
+                 std::to_string(i));
+    const std::string deck = nl.to_cir("unit-test");
+    spice::Circuit circuit;
+    spice::NetlistDeck directives;
+    ASSERT_NO_THROW(directives = spice::parse_netlist(deck, circuit)) << deck;
+    if (nl.cls == FuzzClass::kCimRow) continue;  // comment-only deck
+    EXPECT_EQ(circuit.devices().size(), nl.devices.size()) << deck;
+    EXPECT_TRUE(directives.has_temperature);
+    EXPECT_NEAR(directives.temperature_c, nl.temperature_c, 1e-9);
+    if (nl.t_stop > 0.0) {
+      ASSERT_EQ(directives.tran.size(), 1u);
+      EXPECT_NEAR(directives.tran.front().t_stop, nl.t_stop, 1e-18);
+    }
+    parsed_devices += static_cast<int>(circuit.devices().size());
+  }
+  EXPECT_GT(parsed_devices, 100);
+}
+
+TEST(VerifyFuzz, ForcedFailureProducesMinimizedReproducer) {
+  FuzzOptions opt;
+  opt.count = 30;
+  opt.dump_dir = testing::TempDir();
+  // Impossible tolerance: every charge-share case must now "fail", which
+  // exercises the shrinking + reproducer-dump path end to end.
+  opt.charge_tol_rel = 0.0;
+  opt.charge_tol_abs = 1e-30;
+  const FuzzReport rep = run_fuzz(opt);
+  ASSERT_FALSE(rep.pass());
+  ASSERT_FALSE(rep.failures.empty());
+
+  const FuzzFailure& f = rep.failures.front();
+  EXPECT_EQ(f.invariant, "charge_conservation");
+  EXPECT_FALSE(f.detail.empty());
+  EXPECT_LE(f.devices_after_shrink, f.devices_before_shrink);
+  EXPECT_GT(f.devices_after_shrink, 0);
+
+  // The minimized netlist still violates the same invariant...
+  const auto still_failing = check_invariants(f.minimized, opt);
+  ASSERT_TRUE(still_failing.has_value());
+  EXPECT_EQ(still_failing->invariant, f.invariant);
+  // ...and no single further device removal keeps it failing (1-minimal).
+  for (std::size_t i = 0; i < f.minimized.devices.size(); ++i) {
+    FuzzNetlist smaller = f.minimized;
+    smaller.devices.erase(smaller.devices.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+    const auto g = check_invariants(smaller, opt);
+    EXPECT_FALSE(g && g->invariant == f.invariant)
+        << "device " << i << " was removable";
+  }
+
+  // The dumped artifact exists, carries provenance, and parses.
+  ASSERT_FALSE(f.reproducer_path.empty());
+  std::ifstream in(f.reproducer_path);
+  ASSERT_TRUE(in.good()) << f.reproducer_path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string deck = ss.str();
+  EXPECT_NE(deck.find("charge_conservation"), std::string::npos);
+  EXPECT_NE(deck.find("seed=0x"), std::string::npos);
+  spice::Circuit circuit;
+  ASSERT_NO_THROW(spice::parse_netlist(deck, circuit)) << deck;
+  EXPECT_EQ(circuit.devices().size(), f.minimized.devices.size());
+}
+
+TEST(VerifyFuzz, ShrinkerIsIdentityOnPassingNetlist) {
+  const FuzzOptions opt;
+  const FuzzNetlist nl = generate_netlist(opt, 0);
+  ASSERT_FALSE(check_invariants(nl, opt).has_value());
+  const FuzzNetlist same = shrink_netlist(nl, opt);
+  EXPECT_EQ(same.devices.size(), nl.devices.size());
+}
+
+TEST(VerifyFuzz, ClassMixMatchesSchedule) {
+  const FuzzOptions opt;
+  // Index 13 of every 25-block is the paper-shaped CiM row; the rest
+  // cycle through the three generic classes.
+  EXPECT_EQ(generate_netlist(opt, 13).cls, FuzzClass::kCimRow);
+  EXPECT_EQ(generate_netlist(opt, 38).cls, FuzzClass::kCimRow);
+  EXPECT_EQ(generate_netlist(opt, 0).cls, FuzzClass::kDcKcl);
+  EXPECT_EQ(generate_netlist(opt, 1).cls, FuzzClass::kChargeShare);
+  EXPECT_EQ(generate_netlist(opt, 2).cls, FuzzClass::kSubthresholdTemp);
+  FuzzOptions no_cim = opt;
+  no_cim.include_cim_rows = false;
+  EXPECT_NE(generate_netlist(no_cim, 13).cls, FuzzClass::kCimRow);
+}
+
+}  // namespace
+}  // namespace sfc::verify

@@ -1,0 +1,205 @@
+// Command-line front end of the verification subsystem (src/verify).
+//
+//   verify_runner golden [--dir DIR] [--case NAME] [--regen]
+//       Recompute the canonical paper experiments and compare them to the
+//       stored goldens (or rewrite the goldens with --regen).
+//   verify_runner oracle [--case NAME]
+//       Run the differential-oracle pairs and print structured diffs.
+//   verify_runner fuzz [--count N] [--seed S] [--dump DIR]
+//       Run the property-based netlist fuzz campaign; failing cases are
+//       shrunk and dumped as .cir reproducers.
+//   verify_runner check-bench PATH
+//       Validate a bench/perf_simulator --json output file against the
+//       expected schema (used by scripts/check.sh).
+//
+// Exit status 0 = everything passed, 1 = a verification failure,
+// 2 = usage / IO error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "verify/fuzz.hpp"
+#include "verify/golden.hpp"
+#include "verify/json.hpp"
+#include "verify/oracle.hpp"
+
+namespace {
+
+using sfc::verify::Json;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: verify_runner golden [--dir DIR] [--case NAME] [--regen]\n"
+               "       verify_runner oracle [--case NAME]\n"
+               "       verify_runner fuzz [--count N] [--seed S] [--dump DIR]\n"
+               "       verify_runner check-bench PATH\n");
+  return 2;
+}
+
+/// Consume "--flag VALUE" from argv; returns nullptr when absent.
+const char* flag_value(std::vector<const char*>& args, const char* flag) {
+  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+    if (std::strcmp(args[i], flag) == 0) {
+      const char* v = args[i + 1];
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      return v;
+    }
+  }
+  return nullptr;
+}
+
+bool flag_present(std::vector<const char*>& args, const char* flag) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (std::strcmp(args[i], flag) == 0) {
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+int cmd_golden(std::vector<const char*> args) {
+  const char* dir_flag = flag_value(args, "--dir");
+  const char* case_flag = flag_value(args, "--case");
+  const bool regen = flag_present(args, "--regen");
+  if (!args.empty()) return usage();
+  const std::string dir =
+      dir_flag ? std::string(dir_flag) : sfc::verify::default_golden_dir();
+
+  bool all_pass = true;
+  int ran = 0;
+  for (const auto& c : sfc::verify::golden_cases()) {
+    if (case_flag && c.name != case_flag) continue;
+    ++ran;
+    if (regen) {
+      const std::string path = dir + "/" + c.file();
+      sfc::verify::save_golden(path, c.build());
+      std::printf("regenerated %s\n", path.c_str());
+      continue;
+    }
+    const sfc::verify::GoldenCompare cmp = sfc::verify::run_golden_case(c, dir);
+    std::printf("%s: %s\n", c.name.c_str(), cmp.summary().c_str());
+    all_pass = all_pass && cmp.pass;
+  }
+  if (ran == 0) {
+    std::fprintf(stderr, "no golden case named '%s'\n", case_flag);
+    return 2;
+  }
+  return all_pass ? 0 : 1;
+}
+
+int cmd_oracle(std::vector<const char*> args) {
+  const char* case_flag = flag_value(args, "--case");
+  if (!args.empty()) return usage();
+  bool all_match = true;
+  int ran = 0;
+  for (const auto& c : sfc::verify::oracle_cases()) {
+    if (case_flag && c.name != case_flag) continue;
+    ++ran;
+    const sfc::verify::OracleReport rep = c.run();
+    std::printf("%s\n", rep.summary().c_str());
+    all_match = all_match && rep.match;
+  }
+  if (ran == 0) {
+    std::fprintf(stderr, "no oracle case named '%s'\n", case_flag);
+    return 2;
+  }
+  return all_match ? 0 : 1;
+}
+
+int cmd_fuzz(std::vector<const char*> args) {
+  sfc::verify::FuzzOptions opt;
+  if (const char* v = flag_value(args, "--count")) opt.count = std::atoi(v);
+  if (const char* v = flag_value(args, "--seed")) {
+    opt.seed = std::strtoull(v, nullptr, 0);
+  }
+  if (const char* v = flag_value(args, "--dump")) opt.dump_dir = v;
+  if (!args.empty() || opt.count <= 0) return usage();
+  const sfc::verify::FuzzReport rep = sfc::verify::run_fuzz(opt);
+  std::printf("%s\n", rep.summary().c_str());
+  return rep.pass() ? 0 : 1;
+}
+
+/// Schema contract for bench/perf_simulator --json (BENCH_solver.json).
+int cmd_check_bench(std::vector<const char*> args) {
+  if (args.size() != 1) return usage();
+  Json j;
+  try {
+    j = sfc::verify::read_json_file(args[0]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "check-bench: %s\n", e.what());
+    return 2;
+  }
+  std::vector<std::string> problems;
+  const auto require = [&](bool ok, const std::string& what) {
+    if (!ok) problems.push_back(what);
+  };
+  try {
+    require(j.is_object(), "root must be an object");
+    if (j.is_object()) {
+      require(j.has("schema_version") && j.get("schema_version").is_number(),
+              "missing numeric 'schema_version'");
+      require(j.has("build_type") && j.get("build_type").is_string(),
+              "missing string 'build_type'");
+      require(j.has("threads") && j.get("threads").is_number(),
+              "missing numeric 'threads'");
+      require(j.has("kernels") && j.get("kernels").is_array(),
+              "missing array 'kernels'");
+    }
+    if (j.is_object() && j.has("kernels") && j.get("kernels").is_array()) {
+      const auto& kernels = j.get("kernels").as_array();
+      require(!kernels.empty(), "'kernels' must be non-empty");
+      for (const Json& k : kernels) {
+        if (!k.is_object()) {
+          problems.push_back("kernel entry must be an object");
+          continue;
+        }
+        for (const char* key : {"name", "detail"}) {
+          require(k.has(key) && k.get(key).is_string(),
+                  std::string("kernel missing string '") + key + "'");
+        }
+        for (const char* key :
+             {"samples", "legacy_ms", "hot_ms", "speedup", "solves_per_sec"}) {
+          require(k.has(key) && k.get(key).is_number(),
+                  std::string("kernel missing numeric '") + key + "'");
+        }
+        for (const char* key : {"bit_identical", "converged"}) {
+          require(k.has(key) && k.get(key).is_bool(),
+                  std::string("kernel missing bool '") + key + "'");
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    problems.push_back(e.what());
+  }
+  if (!problems.empty()) {
+    for (const auto& p : problems) {
+      std::fprintf(stderr, "check-bench: %s: %s\n", args[0], p.c_str());
+    }
+    return 1;
+  }
+  std::printf("check-bench: %s: schema OK\n", args[0]);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  std::vector<const char*> args(argv + 2, argv + argc);
+  try {
+    if (cmd == "golden") return cmd_golden(std::move(args));
+    if (cmd == "oracle") return cmd_oracle(std::move(args));
+    if (cmd == "fuzz") return cmd_fuzz(std::move(args));
+    if (cmd == "check-bench") return cmd_check_bench(std::move(args));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "verify_runner %s: %s\n", cmd.c_str(), e.what());
+    return 2;
+  }
+  return usage();
+}
