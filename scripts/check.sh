@@ -25,6 +25,29 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 step "verification layer (ctest -L verify)"
 ctest --test-dir "${BUILD_DIR}" -L verify --output-on-failure -j "${JOBS}"
 
+step "static netlist analysis (sfc_lint over examples/*.cir)"
+for deck in examples/*.cir; do
+  "${BUILD_DIR}/tools/sfc_lint" "${deck}"
+done
+# The acceptance demos must keep failing: a clean exit here means the
+# linter lost its teeth.
+for bad in floating-node:'I1 0 x 1u\nC1 x 0 1p\n.end' \
+           vsource-loop:'V1 a 0 1\nV2 a 0 2\nR1 a 0 1k\n.end'; do
+  rule="${bad%%:*}"
+  printf '%b\n' "${bad#*:}" > "${BUILD_DIR}/lint_demo.cir"
+  # sfc_lint exits 3 here by design; capture instead of piping so pipefail
+  # does not eat the expected nonzero status.
+  out="$("${BUILD_DIR}/tools/sfc_lint" "${BUILD_DIR}/lint_demo.cir")" \
+    && { echo "sfc_lint passed the ${rule} demo deck (expected exit 3)" >&2
+         exit 1; }
+  if grep -q "\[${rule}\]" <<<"${out}"; then
+    echo "sfc_lint flags the ${rule} demo deck (exit 3, as expected)"
+  else
+    echo "sfc_lint FAILED to flag the ${rule} demo deck" >&2
+    exit 1
+  fi
+done
+
 step "golden / oracle / fuzz summary (verify_runner)"
 "${BUILD_DIR}/tools/verify_runner" golden
 "${BUILD_DIR}/tools/verify_runner" oracle
@@ -33,5 +56,17 @@ step "golden / oracle / fuzz summary (verify_runner)"
 step "solver benchmark smoke + JSON schema validation"
 "${BUILD_DIR}/bench/perf_simulator" --smoke --json "${BUILD_DIR}/BENCH_solver.json"
 "${BUILD_DIR}/tools/verify_runner" check-bench "${BUILD_DIR}/BENCH_solver.json"
+
+step "UBSan pass (ctest -L \"spice|verify|lint\" under -fsanitize=undefined)"
+# -L is an AND filter when repeated; the regex is the union of the labels.
+UBSAN_DIR="${BUILD_DIR}-ubsan"
+cmake -B "${UBSAN_DIR}" -S . -DSFC_SANITIZE=undefined \
+  -DSFC_BUILD_BENCH=OFF -DSFC_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build "${UBSAN_DIR}" -j "${JOBS}"
+ctest --test-dir "${UBSAN_DIR}" -L "spice|verify|lint" \
+  --output-on-failure -j "${JOBS}"
+
+step "clang-tidy (skipped automatically when the binary is absent)"
+scripts/tidy.sh "${BUILD_DIR}"
 
 step "all checks passed"

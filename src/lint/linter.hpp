@@ -1,0 +1,50 @@
+// Pass-pipeline driver for the netlist static analyzer, plus the
+// parse-and-lint entry points used by the sfc_lint CLI, the test suite and
+// the fuzz cross-check. See DESIGN.md §10 for the architecture and the
+// full rule table.
+#pragma once
+
+#include <string>
+
+#include "lint/diagnostics.hpp"
+#include "lint/rules.hpp"
+
+namespace sfc::lint {
+
+class Linter {
+ public:
+  /// All builtin rules enabled.
+  Linter();
+
+  /// Toggle a circuit rule by id; unknown ids throw std::runtime_error.
+  void disable(const std::string& rule_id);
+  void enable(const std::string& rule_id);
+
+  /// Run the enabled pipeline over a finalized-or-not circuit. `deck`
+  /// unlocks the directive rules (tran-step, temp-range, unused-model,
+  /// dc-sweep-source) and tells the reachability rule whether capacitors
+  /// conduct. Never solves, never mutates the circuit.
+  LintReport run(const spice::Circuit& circuit,
+                 const spice::NetlistDeck* deck = nullptr) const;
+
+ private:
+  std::size_t index_of(const std::string& rule_id) const;
+  std::vector<bool> enabled_;
+};
+
+/// Parse + lint outcome. Parse failures are reported as diagnostics (rule
+/// = spice::NetlistError::rule()), not exceptions, so the linter can be
+/// pointed at arbitrary input — including fuzzer reproducers — without
+/// crashing.
+struct LintResult {
+  LintReport report;
+  spice::NetlistDeck deck;
+  bool parsed = false;  ///< false when parsing aborted (deck is partial)
+};
+
+LintResult lint_source(const std::string& text, const Linter& linter = {});
+
+/// Read `path` and lint it. Throws std::runtime_error on I/O failure only.
+LintResult lint_file(const std::string& path, const Linter& linter = {});
+
+}  // namespace sfc::lint

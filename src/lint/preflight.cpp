@@ -1,0 +1,43 @@
+#include "lint/preflight.hpp"
+
+#include <utility>
+
+#include "lint/linter.hpp"
+
+namespace sfc::lint {
+namespace {
+
+std::string preflight_message(const LintReport& report) {
+  return "pre-flight lint rejected the circuit:\n" + report.to_text();
+}
+
+}  // namespace
+
+PreflightError::PreflightError(LintReport report)
+    : std::runtime_error(preflight_message(report)),
+      report_(std::move(report)) {}
+
+void check_or_throw(const spice::Circuit& circuit,
+                    const spice::NetlistDeck* deck) {
+  const LintReport all = Linter{}.run(circuit, deck);
+  if (!all.has_errors()) return;
+  LintReport errors;
+  for (const Diagnostic& d : all.diagnostics()) {
+    if (d.severity == Severity::kError) errors.add(d);
+  }
+  throw PreflightError(std::move(errors));
+}
+
+void install_preflight(spice::Engine& engine,
+                       const spice::NetlistDeck* deck) {
+  if (deck == nullptr) {
+    engine.set_preflight(
+        [](const spice::Circuit& c) { check_or_throw(c, nullptr); });
+    return;
+  }
+  engine.set_preflight([deck_copy = *deck](const spice::Circuit& c) {
+    check_or_throw(c, &deck_copy);
+  });
+}
+
+}  // namespace sfc::lint

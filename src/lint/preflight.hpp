@@ -1,0 +1,39 @@
+// Engine pre-flight gate: run the error-severity ERC rules against a
+// circuit before the first solve, so library users get the same static
+// screening as the sfc_lint CLI. Opt-in:
+//
+//   Circuit ckt;
+//   NetlistDeck deck = parse_netlist(text, ckt);
+//   Engine engine(ckt, deck.temperature_c);
+//   lint::install_preflight(engine, &deck);
+//   engine.dc_operating_point();  // throws PreflightError on a bad deck
+#pragma once
+
+#include "lint/diagnostics.hpp"
+#include "spice/engine.hpp"
+#include "spice/netlist.hpp"
+
+namespace sfc::lint {
+
+/// Thrown by the pre-flight gate; what() is the full text report and
+/// report() carries the structured error diagnostics.
+class PreflightError : public std::runtime_error {
+ public:
+  explicit PreflightError(LintReport report);
+  const LintReport& report() const { return report_; }
+
+ private:
+  LintReport report_;
+};
+
+/// Run the pipeline and throw PreflightError if any error-severity
+/// diagnostic fires (warnings and notes never block a solve).
+void check_or_throw(const spice::Circuit& circuit,
+                    const spice::NetlistDeck* deck = nullptr);
+
+/// Arm `engine` with check_or_throw. The deck (if given) is copied into
+/// the installed check, so it may go out of scope afterwards.
+void install_preflight(spice::Engine& engine,
+                       const spice::NetlistDeck* deck = nullptr);
+
+}  // namespace sfc::lint

@@ -1,0 +1,425 @@
+#include "lint/rules.hpp"
+
+#include <cstdio>
+#include <numeric>
+#include <string>
+
+#include "devices/diode.hpp"
+#include "devices/mosfet.hpp"
+#include "fefet/fefet.hpp"
+#include "spice/primitives.hpp"
+
+namespace sfc::lint {
+namespace {
+
+using spice::Device;
+using spice::NodeId;
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+// ------------------------------------------------------------------ utils
+
+/// Union-find over node ids 0..n-1 plus ground at slot n.
+class Dsu {
+ public:
+  explicit Dsu(std::size_t slots) : parent_(slots) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t i) {
+    while (parent_[i] != i) {
+      parent_[i] = parent_[parent_[i]];
+      i = parent_[i];
+    }
+    return i;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+std::size_t slot(NodeId n, std::size_t num_nodes) {
+  return n == spice::kGround ? num_nodes : static_cast<std::size_t>(n);
+}
+
+/// Node pairs a device conducts DC current between. `caps_conduct` folds
+/// capacitors into the graph (transient decks: the companion model makes
+/// them conductive, and an IC pins the node voltage).
+std::vector<std::pair<NodeId, NodeId>> conduction_edges(const Device& dev,
+                                                        bool caps_conduct) {
+  const auto t = dev.terminals();
+  using Pair = std::pair<NodeId, NodeId>;
+  if (dynamic_cast<const spice::Resistor*>(&dev) ||
+      dynamic_cast<const spice::Inductor*>(&dev) ||
+      dynamic_cast<const spice::VSource*>(&dev)) {
+    return {Pair{t[0], t[1]}};
+  }
+  if (dynamic_cast<const spice::Capacitor*>(&dev)) {
+    if (caps_conduct) return {Pair{t[0], t[1]}};
+    return {};
+  }
+  if (dynamic_cast<const spice::ISource*>(&dev)) return {};
+  if (dynamic_cast<const spice::Vccs*>(&dev)) return {};
+  if (dynamic_cast<const spice::Vcvs*>(&dev)) {
+    return {Pair{t[0], t[1]}};  // output branch is voltage-defined
+  }
+  if (dynamic_cast<const spice::VSwitch*>(&dev)) {
+    return {Pair{t[0], t[1]}};  // finite r_off: always a resistive path
+  }
+  if (dynamic_cast<const devices::Diode*>(&dev)) {
+    return {Pair{t[0], t[1]}};
+  }
+  if (dynamic_cast<const devices::Mosfet*>(&dev)) {
+    // Drain-source channel conducts; the gate is an open circuit (a
+    // floating gate is exactly what the reachability rule must catch).
+    return {Pair{t[0], t[2]}};
+  }
+  // Unknown device type: assume every terminal pair conducts. Being
+  // permissive here keeps the rule free of false positives on devices the
+  // analyzer has never heard of.
+  std::vector<Pair> all;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) all.emplace_back(t[i], t[i + 1]);
+  return all;
+}
+
+/// True for devices whose branch voltage is fixed independent of current:
+/// chaining them into a loop (or shorting one) makes the MNA matrix
+/// singular. Inductors count — they are DC shorts.
+bool is_voltage_defined(const Device& dev) {
+  return dynamic_cast<const spice::VSource*>(&dev) != nullptr ||
+         dynamic_cast<const spice::Vcvs*>(&dev) != nullptr ||
+         dynamic_cast<const spice::Inductor*>(&dev) != nullptr;
+}
+
+std::pair<NodeId, NodeId> voltage_branch(const Device& dev) {
+  const auto t = dev.terminals();
+  return {t[0], t[1]};
+}
+
+// ------------------------------------------------------------------ rules
+
+void rule_floating_node(const LintContext& ctx, LintReport& out) {
+  const spice::Circuit& c = ctx.circuit;
+  const std::size_t n = c.num_nodes();
+  if (n == 0) return;
+  const bool caps_conduct = !ctx.deck || !ctx.deck->tran.empty();
+  Dsu dsu(n + 1);
+  for (const auto& dev : c.devices()) {
+    for (const auto& [a, b] : conduction_edges(*dev, caps_conduct)) {
+      dsu.unite(slot(a, n), slot(b, n));
+    }
+  }
+  const std::size_t ground = dsu.find(n);
+  // One diagnostic per disconnected island, anchored at its first device.
+  std::vector<char> reported(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ctx.incidence.touches[i].empty()) continue;  // unused-node's job
+    const std::size_t root = dsu.find(i);
+    if (root == ground || reported[root]) continue;
+    reported[root] = 1;
+    std::string nodes;
+    std::size_t line = 0;
+    for (std::size_t j = i; j < n; ++j) {
+      if (dsu.find(j) != root || ctx.incidence.touches[j].empty()) continue;
+      if (!nodes.empty()) nodes += "', '";
+      nodes += c.node_name(static_cast<NodeId>(j));
+      for (const auto& touch : ctx.incidence.touches[j]) {
+        const std::size_t l = touch.device->source_line();
+        if (l && (line == 0 || l < line)) line = l;
+      }
+    }
+    Diagnostic d;
+    d.rule = "floating-node";
+    d.severity = Severity::kError;
+    d.line = line;
+    d.object = c.node_name(static_cast<NodeId>(i));
+    d.message = "node(s) '" + nodes + "' have no DC path to ground";
+    d.hint =
+        "add a resistive path to ground or reference the island from a "
+        "source; the solver would otherwise rely on gmin leakage and can "
+        "report a singular matrix";
+    out.add(std::move(d));
+  }
+}
+
+void rule_vsource_loop(const LintContext& ctx, LintReport& out) {
+  const spice::Circuit& c = ctx.circuit;
+  const std::size_t n = c.num_nodes();
+  Dsu dsu(n + 1);
+  for (const auto& dev : c.devices()) {
+    if (!is_voltage_defined(*dev)) continue;
+    const auto [a, b] = voltage_branch(*dev);
+    const std::size_t sa = slot(a, n);
+    const std::size_t sb = slot(b, n);
+    Diagnostic d;
+    d.rule = "vsource-loop";
+    d.severity = Severity::kError;
+    d.line = dev->source_line();
+    d.object = dev->name();
+    if (sa == sb) {
+      d.message = "both terminals of voltage-defined device '" + dev->name() +
+                  "' connect to node '" + c.node_name(a) + "' (shorted)";
+      d.hint = "remove the device or separate its terminals";
+      out.add(std::move(d));
+      continue;
+    }
+    if (dsu.find(sa) == dsu.find(sb)) {
+      d.message = "voltage-defined loop closed by '" + dev->name() +
+                  "' between nodes '" + c.node_name(a) + "' and '" +
+                  c.node_name(b) + "'";
+      d.hint =
+          "voltage sources, VCVS outputs and inductors fix branch voltages; "
+          "a loop of them over-determines the system — insert a series "
+          "resistance";
+      out.add(std::move(d));
+      continue;
+    }
+    dsu.unite(sa, sb);
+  }
+}
+
+void rule_dangling_terminal(const LintContext& ctx, LintReport& out) {
+  const spice::Circuit& c = ctx.circuit;
+  for (std::size_t i = 0; i < ctx.incidence.touches.size(); ++i) {
+    const auto& touches = ctx.incidence.touches[i];
+    if (touches.size() != 1) continue;
+    const auto& touch = touches.front();
+    Diagnostic d;
+    d.rule = "dangling-terminal";
+    d.severity = Severity::kWarning;
+    d.line = touch.device->source_line();
+    d.object = touch.device->name();
+    d.message = "node '" + c.node_name(static_cast<NodeId>(i)) +
+                "' is touched only by terminal " +
+                std::to_string(touch.terminal) + " of '" +
+                touch.device->name() + "'";
+    d.hint = "connect the node to the rest of the circuit or drop the device";
+    out.add(std::move(d));
+  }
+}
+
+void rule_unused_node(const LintContext& ctx, LintReport& out) {
+  const spice::Circuit& c = ctx.circuit;
+  for (std::size_t i = 0; i < ctx.incidence.touches.size(); ++i) {
+    if (!ctx.incidence.touches[i].empty()) continue;
+    Diagnostic d;
+    d.rule = "unused-node";
+    d.severity = Severity::kNote;
+    d.object = c.node_name(static_cast<NodeId>(i));
+    d.message = "node '" + d.object + "' is declared but no device touches it";
+    d.hint = "drop the node or wire a device to it";
+    out.add(std::move(d));
+  }
+}
+
+void rule_fefet_vth_window(const LintContext& ctx, LintReport& out) {
+  for (const auto& dev : ctx.circuit.devices()) {
+    const auto* z = dynamic_cast<const fefet::FeFet*>(dev.get());
+    if (!z) continue;
+    const fefet::PreisachParams& p = z->ferroelectric().params();
+    if (p.vth_low < p.vth_high) continue;
+    Diagnostic d;
+    d.rule = "fefet-vth-window";
+    d.severity = Severity::kError;
+    d.line = dev->source_line();
+    d.object = dev->name();
+    d.message = "FeFET '" + dev->name() + "' has vthlow (" + fmt(p.vth_low) +
+                " V) >= vthhigh (" + fmt(p.vth_high) +
+                " V): the memory window is empty or inverted";
+    d.hint = "swap or widen the thresholds (paper reference: 0.25 V / 1.7 V)";
+    out.add(std::move(d));
+  }
+}
+
+void rule_nonpositive_value(const LintContext& ctx, LintReport& out) {
+  const auto flag = [&out](const Device& dev, const std::string& what,
+                           double v) {
+    Diagnostic d;
+    d.rule = "nonpositive-value";
+    d.severity = Severity::kError;
+    d.line = dev.source_line();
+    d.object = dev.name();
+    d.message = "device '" + dev.name() + "' has non-positive " + what +
+                " (" + fmt(v) + ")";
+    d.hint = "physical element values must be > 0";
+    out.add(std::move(d));
+  };
+  for (const auto& dev : ctx.circuit.devices()) {
+    if (const auto* r = dynamic_cast<const spice::Resistor*>(dev.get())) {
+      if (r->resistance() <= 0.0) flag(*dev, "resistance", r->resistance());
+    } else if (const auto* c = dynamic_cast<const spice::Capacitor*>(dev.get())) {
+      if (c->capacitance() <= 0.0) flag(*dev, "capacitance", c->capacitance());
+    } else if (const auto* l = dynamic_cast<const spice::Inductor*>(dev.get())) {
+      if (l->inductance() <= 0.0) flag(*dev, "inductance", l->inductance());
+    } else if (const auto* s = dynamic_cast<const spice::VSwitch*>(dev.get())) {
+      if (s->params().r_on <= 0.0) flag(*dev, "on-resistance", s->params().r_on);
+      if (s->params().r_off <= 0.0) {
+        flag(*dev, "off-resistance", s->params().r_off);
+      }
+    } else if (const auto* m = dynamic_cast<const devices::Mosfet*>(dev.get())) {
+      if (m->params().w <= 0.0) flag(*dev, "channel width", m->params().w);
+      if (m->params().l <= 0.0) flag(*dev, "channel length", m->params().l);
+    }
+  }
+}
+
+void rule_tran_step(const LintContext& ctx, LintReport& out) {
+  if (!ctx.deck) return;
+  for (const spice::TranDirective& tr : ctx.deck->tran) {
+    std::string problem;
+    if (tr.dt <= 0.0) {
+      problem = ".tran step " + fmt(tr.dt) + " s must be positive";
+    } else if (tr.t_stop <= 0.0) {
+      problem = ".tran stop time " + fmt(tr.t_stop) + " s must be positive";
+    } else if (tr.dt > tr.t_stop) {
+      problem = ".tran step " + fmt(tr.dt) + " s exceeds stop time " +
+                fmt(tr.t_stop) + " s";
+    }
+    if (problem.empty()) continue;
+    Diagnostic d;
+    d.rule = "tran-step";
+    d.severity = Severity::kError;
+    d.line = tr.line;
+    d.object = ".tran";
+    d.message = std::move(problem);
+    d.hint = "use 0 < dt <= t_stop";
+    out.add(std::move(d));
+  }
+}
+
+void rule_temp_range(const LintContext& ctx, LintReport& out) {
+  if (!ctx.deck || !ctx.deck->has_temperature) return;
+  const double t = ctx.deck->temperature_c;
+  if (t >= 0.0 && t <= 85.0) return;
+  Diagnostic d;
+  d.rule = "temp-range";
+  d.severity = Severity::kWarning;
+  d.line = ctx.deck->temperature_line;
+  d.object = ".temp";
+  d.message = ".temp " + fmt(t) +
+              " degC is outside the paper's validated 0-85 degC envelope";
+  d.hint =
+      "device models are calibrated for 0-85 degC (DATE'24 Figs. 1-9); "
+      "results outside it are extrapolations";
+  out.add(std::move(d));
+}
+
+void rule_unused_model(const LintContext& ctx, LintReport& out) {
+  if (!ctx.deck) return;
+  for (const spice::ModelDef& m : ctx.deck->models) {
+    if (m.uses > 0) continue;
+    Diagnostic d;
+    d.rule = "unused-model";
+    d.severity = Severity::kWarning;
+    d.line = m.line;
+    d.object = m.name;
+    d.message = ".model '" + m.name + "' is defined but never instantiated";
+    d.hint = "remove the model card or reference it from an M card";
+    out.add(std::move(d));
+  }
+}
+
+void rule_dc_sweep_source(const LintContext& ctx, LintReport& out) {
+  if (!ctx.deck) return;
+  for (const spice::DcSweepDirective& dc : ctx.deck->dc) {
+    const Device* dev = ctx.circuit.find(dc.source);
+    std::string problem;
+    if (!dev) {
+      problem = ".dc sweeps unknown source '" + dc.source + "'";
+    } else if (!dynamic_cast<const spice::VSource*>(dev)) {
+      problem = ".dc sweep target '" + dc.source + "' is not a voltage source";
+    } else if (dc.step == 0.0) {
+      problem = ".dc step is zero (sweep would never terminate)";
+    }
+    if (problem.empty()) continue;
+    Diagnostic d;
+    d.rule = "dc-sweep-source";
+    d.severity = Severity::kError;
+    d.line = dc.line;
+    d.object = dc.source;
+    d.message = std::move(problem);
+    d.hint = "name a V card and use a non-zero step";
+    out.add(std::move(d));
+  }
+}
+
+void rule_empty_deck(const LintContext& ctx, LintReport& out) {
+  if (!ctx.circuit.devices().empty()) return;
+  Diagnostic d;
+  d.rule = "empty-deck";
+  d.severity = Severity::kNote;
+  d.object = "";
+  d.message = "netlist defines no devices";
+  d.hint = "";
+  out.add(std::move(d));
+}
+
+}  // namespace
+
+NodeIncidence NodeIncidence::build(const spice::Circuit& circuit) {
+  NodeIncidence inc;
+  inc.touches.resize(circuit.num_nodes());
+  for (const auto& dev : circuit.devices()) {
+    const auto terms = dev->terminals();
+    for (std::size_t k = 0; k < terms.size(); ++k) {
+      if (terms[k] == spice::kGround) continue;
+      inc.touches[static_cast<std::size_t>(terms[k])].push_back(
+          Touch{dev.get(), k});
+    }
+  }
+  return inc;
+}
+
+const std::vector<Rule>& builtin_rules() {
+  static const std::vector<Rule> rules = {
+      {"floating-node", Severity::kError,
+       "a node (island) has no DC path to ground", rule_floating_node},
+      {"vsource-loop", Severity::kError,
+       "loop or short of voltage-defined branches (V/E/L)",
+       rule_vsource_loop},
+      {"dangling-terminal", Severity::kWarning,
+       "a node is touched by exactly one device terminal",
+       rule_dangling_terminal},
+      {"unused-node", Severity::kNote,
+       "a declared node is touched by no device", rule_unused_node},
+      {"fefet-vth-window", Severity::kError,
+       "FeFET programmed window has vthlow >= vthhigh",
+       rule_fefet_vth_window},
+      {"nonpositive-value", Severity::kError,
+       "non-positive R/C/L or MOSFET/FeFET W/L", rule_nonpositive_value},
+      {"tran-step", Severity::kError, ".tran with dt <= 0 or dt > t_stop",
+       rule_tran_step},
+      {"temp-range", Severity::kWarning,
+       ".temp outside the validated 0-85 degC envelope", rule_temp_range},
+      {"unused-model", Severity::kWarning, ".model defined but never used",
+       rule_unused_model},
+      {"dc-sweep-source", Severity::kError,
+       ".dc target missing, not a V source, or zero step",
+       rule_dc_sweep_source},
+      {"empty-deck", Severity::kNote, "netlist defines no devices",
+       rule_empty_deck},
+  };
+  return rules;
+}
+
+const std::vector<ParseRuleInfo>& parse_rules() {
+  static const std::vector<ParseRuleInfo> rules = {
+      {"duplicate-device", "device name redefined (both lines reported)"},
+      {"duplicate-model", ".model name redefined (both lines reported)"},
+      {"duplicate-subckt", ".subckt name redefined (both lines reported)"},
+      {"undefined-model", "M card references a model never defined"},
+      {"undefined-subckt", "X card references a subcircuit never defined"},
+      {"subckt-port-mismatch", "X card node count != .subckt port count"},
+      {"nonpositive-value", "device card with a non-positive element value"},
+      {"unknown-card", "unrecognized device card letter"},
+      {"unknown-directive", "unrecognized dot directive"},
+      {"parse-error", "malformed card (missing node/value, bad number, ...)"},
+  };
+  return rules;
+}
+
+}  // namespace sfc::lint

@@ -1,0 +1,59 @@
+// Electrical-rule-check passes over a parsed Circuit (+ optional
+// NetlistDeck). Each rule is a pure static-analysis function: it inspects
+// the circuit topology / device parameters / deck directives and appends
+// Diagnostic records — no solve is ever attempted. The Linter (linter.hpp)
+// owns the pipeline order and the enable/disable set.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "lint/diagnostics.hpp"
+#include "spice/circuit.hpp"
+#include "spice/netlist.hpp"
+
+namespace sfc::lint {
+
+/// Terminal incidence of every non-ground node, shared by the topology
+/// rules so each pass does not rebuild it.
+struct NodeIncidence {
+  struct Touch {
+    const spice::Device* device = nullptr;
+    std::size_t terminal = 0;  ///< index into Device::terminals()
+  };
+  /// Indexed by NodeId; ground is excluded (always well-connected).
+  std::vector<std::vector<Touch>> touches;
+
+  static NodeIncidence build(const spice::Circuit& circuit);
+};
+
+struct LintContext {
+  const spice::Circuit& circuit;
+  /// Directives of the deck the circuit came from; nullptr when linting an
+  /// API-built circuit (directive rules then no-op, and capacitors are
+  /// treated as conductive for reachability — the caller may legitimately
+  /// intend a transient).
+  const spice::NetlistDeck* deck = nullptr;
+  NodeIncidence incidence;
+};
+
+struct Rule {
+  const char* id;
+  Severity severity;  ///< severity the rule emits at
+  const char* description;
+  void (*run)(const LintContext&, LintReport&);
+};
+
+/// The built-in circuit/deck pass pipeline, in execution order.
+const std::vector<Rule>& builtin_rules();
+
+/// Rules enforced during parse_netlist itself (surfaced by lint_source as
+/// diagnostics via spice::NetlistError::rule()). Listed here so the CLI
+/// rule table and the docs cover the full rule set.
+struct ParseRuleInfo {
+  const char* id;
+  const char* description;
+};
+const std::vector<ParseRuleInfo>& parse_rules();
+
+}  // namespace sfc::lint

@@ -257,6 +257,12 @@ class Device {
   /// Connected nodes (diagnostics / netlist printing).
   virtual std::vector<NodeId> terminals() const = 0;
 
+  /// Source line of the netlist card that created this device (0 = not
+  /// built from a netlist). parse_netlist threads this through so static
+  /// diagnostics (src/lint) point at real deck lines.
+  void set_source_line(std::size_t line) { source_line_ = line; }
+  std::size_t source_line() const { return source_line_; }
+
  protected:
   /// Copying is reserved for subclass clone() implementations; keeping it
   /// protected prevents accidental slicing through the base class.
@@ -270,6 +276,7 @@ class Device {
  private:
   std::string name_;
   int aux_base_ = -1;
+  std::size_t source_line_ = 0;
 };
 
 }  // namespace sfc::spice

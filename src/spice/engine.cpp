@@ -197,9 +197,22 @@ bool Engine::newton_solve(const SimContext& ctx, std::vector<double>& x,
   return false;
 }
 
+void Engine::set_preflight(PreflightCheck check) {
+  preflight_ = std::move(check);
+  preflight_done_ = false;
+}
+
+void Engine::run_preflight() {
+  if (preflight_done_ || !preflight_) return;
+  preflight_(circuit_);
+  // Only a passing screen is cached; a rejecting check keeps rejecting.
+  preflight_done_ = true;
+}
+
 DcResult Engine::dc_operating_point(const NewtonOptions& options,
                                     const std::vector<double>* warm_start) {
   circuit_.finalize();
+  run_preflight();
   DcResult result;
   SimContext ctx;
   ctx.mode = AnalysisMode::kDcOperatingPoint;

@@ -23,8 +23,12 @@ std::string lower(std::string s) {
 }
 
 [[noreturn]] void fail(std::size_t line_no, const std::string& msg) {
-  throw std::runtime_error("netlist line " + std::to_string(line_no) + ": " +
-                           msg);
+  throw NetlistError("parse-error", line_no, msg);
+}
+
+[[noreturn]] void fail_rule(const char* rule, std::size_t line_no,
+                            const std::string& msg) {
+  throw NetlistError(rule, line_no, msg);
 }
 
 /// Split a card into tokens; '(' ')' ',' become separators but '=' is
@@ -176,7 +180,12 @@ Waveform parse_stimulus(const std::vector<std::string>& tokens, std::size_t i,
 NetlistDeck parse_netlist(const std::string& text, Circuit& circuit) {
   NetlistDeck deck;
   std::map<std::string, devices::MosfetParams> models;
+  std::map<std::string, std::size_t> model_index;  // name -> deck.models slot
   std::map<std::string, Subckt> subckts;
+  std::map<std::string, std::size_t> subckt_lines;
+  // First-definition line of every device card seen (including X instance
+  // names). Name redefinition is a hard error reporting both lines.
+  std::map<std::string, std::size_t> device_lines;
 
   // Queue of pending lines; subcircuit expansion pushes to the front.
   std::deque<std::pair<std::string, std::size_t>> queue;
@@ -221,10 +230,12 @@ NetlistDeck parse_netlist(const std::string& text, Circuit& circuit) {
       } else if (head == ".temp") {
         deck.temperature_c = num(1);
         deck.has_temperature = true;
+        deck.temperature_line = line_no;
       } else if (head == ".tran") {
         TranDirective tr;
         tr.dt = num(1);
         tr.t_stop = num(2);
+        tr.line = line_no;
         deck.tran.push_back(tr);
       } else if (head == ".dc") {
         if (tokens.size() < 5) fail(line_no, ".dc needs source start stop step");
@@ -233,6 +244,7 @@ NetlistDeck parse_netlist(const std::string& text, Circuit& circuit) {
         dc.start = num(2);
         dc.stop = num(3);
         dc.step = num(4);
+        dc.line = line_no;
         deck.dc.push_back(dc);
       } else if (head == ".ac") {
         if (tokens.size() < 4) fail(line_no, ".ac needs points fstart fstop");
@@ -240,11 +252,20 @@ NetlistDeck parse_netlist(const std::string& text, Circuit& circuit) {
         ac.points_per_decade = static_cast<int>(num(1));
         ac.f_start = num(2);
         ac.f_stop = num(3);
+        ac.line = line_no;
         deck.ac.push_back(ac);
       } else if (head == ".subckt") {
         if (tokens.size() < 3) fail(line_no, ".subckt needs name and ports");
         Subckt sub;
         const std::string sub_name = lower(tokens[1]);
+        if (auto prev = subckt_lines.find(sub_name);
+            prev != subckt_lines.end()) {
+          fail_rule("duplicate-subckt", line_no,
+                    "subcircuit '" + tokens[1] +
+                        "' redefined (previous definition at line " +
+                        std::to_string(prev->second) + ")");
+        }
+        subckt_lines.emplace(sub_name, line_no);
         for (std::size_t i = 2; i < tokens.size(); ++i) {
           sub.ports.push_back(tokens[i]);
         }
@@ -268,6 +289,13 @@ NetlistDeck parse_netlist(const std::string& text, Circuit& circuit) {
       } else if (head == ".model") {
         if (tokens.size() < 3) fail(line_no, ".model needs name and type");
         const std::string model_name = lower(tokens[1]);
+        if (auto prev = model_index.find(model_name);
+            prev != model_index.end()) {
+          fail_rule("duplicate-model", line_no,
+                    "model '" + tokens[1] +
+                        "' redefined (previous definition at line " +
+                        std::to_string(deck.models[prev->second].line) + ")");
+        }
         const std::string type = lower(tokens[2]);
         devices::MosfetParams p;
         if (type == "nmos") {
@@ -294,8 +322,11 @@ NetlistDeck parse_netlist(const std::string& text, Circuit& circuit) {
           else fail(line_no, "unknown model parameter '" + key + "'");
         }
         models[model_name] = p;
+        model_index.emplace(model_name, deck.models.size());
+        deck.models.push_back(ModelDef{model_name, line_no, 0});
       } else {
-        fail(line_no, "unknown directive '" + head + "'");
+        fail_rule("unknown-directive", line_no,
+                  "unknown directive '" + head + "'");
       }
       continue;
     }
@@ -304,20 +335,38 @@ NetlistDeck parse_netlist(const std::string& text, Circuit& circuit) {
     const char card = static_cast<char>(std::tolower(
         static_cast<unsigned char>(head[0])));
 
+    // Redefining a device name is a hard error naming both lines
+    // (historically some paths silently let the last definition win).
+    if (auto prev = device_lines.find(name); prev != device_lines.end()) {
+      fail_rule("duplicate-device", line_no,
+                "device '" + name +
+                    "' redefined (previous definition at line " +
+                    std::to_string(prev->second) + ")");
+    }
+    if (circuit.find(name) != nullptr) {
+      fail_rule("duplicate-device", line_no,
+                "device '" + name +
+                    "' already exists in the target circuit "
+                    "(defined before parsing)");
+    }
+    device_lines.emplace(name, line_no);
+
     if (card == 'x') {
       // Subcircuit instance: X<name> node... <subckt>.
       if (tokens.size() < 2) fail(line_no, "X card needs nodes and subckt");
       const std::string sub_name = lower(tokens.back());
       auto it = subckts.find(sub_name);
       if (it == subckts.end()) {
-        fail(line_no, "unknown subcircuit '" + tokens.back() + "'");
+        fail_rule("undefined-subckt", line_no,
+                  "unknown subcircuit '" + tokens.back() + "'");
       }
       const Subckt& sub = it->second;
       const std::size_t n_nodes = tokens.size() - 2;
       if (n_nodes != sub.ports.size()) {
-        fail(line_no, "subcircuit '" + sub_name + "' expects " +
-                          std::to_string(sub.ports.size()) + " nodes, got " +
-                          std::to_string(n_nodes));
+        fail_rule("subckt-port-mismatch", line_no,
+                  "subcircuit '" + sub_name + "' expects " +
+                      std::to_string(sub.ports.size()) + " nodes, got " +
+                      std::to_string(n_nodes));
       }
       std::map<std::string, std::string> port_map;
       for (std::size_t i = 0; i < sub.ports.size(); ++i) {
@@ -363,6 +412,7 @@ NetlistDeck parse_netlist(const std::string& text, Circuit& circuit) {
       continue;
     }
 
+    try {
     switch (card) {
       case 'r':
         circuit.add<Resistor>(name, node(1), node(2), num(3));
@@ -405,12 +455,14 @@ NetlistDeck parse_netlist(const std::string& text, Circuit& circuit) {
         devices::MosfetParams p;
         if (auto it = models.find(model_name); it != models.end()) {
           p = it->second;
+          ++deck.models[model_index.at(model_name)].uses;
         } else if (model_name == "nmos") {
           p = devices::MosfetParams::finfet14_nmos();
         } else if (model_name == "pmos") {
           p = devices::MosfetParams::finfet14_pmos();
         } else {
-          fail(line_no, "unknown model '" + model_name + "'");
+          fail_rule("undefined-model", line_no,
+                    "unknown model '" + model_name + "'");
         }
         std::vector<std::string> positional;
         auto kv = keyvalues(tokens, 5, positional);
@@ -449,6 +501,11 @@ NetlistDeck parse_netlist(const std::string& text, Circuit& circuit) {
         }
         if (auto it = kv.find("w"); it != kv.end()) p.channel.w = parse_spice_number(it->second);
         if (auto it = kv.find("l"); it != kv.end()) p.channel.l = parse_spice_number(it->second);
+        if (p.ferroelectric.vth_low >= p.ferroelectric.vth_high) {
+          fail_rule("fefet-vth-window", line_no,
+                    "FeFET '" + name + "' has vthlow >= vthhigh: the memory "
+                    "window is empty or inverted");
+        }
         auto& dev = circuit.add<fefet::FeFet>(name, node(1), node(2), node(3), p);
         if (auto it = kv.find("state"); it != kv.end()) {
           dev.ferroelectric().set_polarization(
@@ -457,8 +514,18 @@ NetlistDeck parse_netlist(const std::string& text, Circuit& circuit) {
         break;
       }
       default:
-        fail(line_no, "unknown card '" + name + "'");
+        fail_rule("unknown-card", line_no, "unknown card '" + name + "'");
     }
+    } catch (const NetlistError&) {
+      throw;
+    } catch (const std::invalid_argument& e) {
+      // Device constructors validate their values (non-positive R/C/L...);
+      // re-attach the source line they cannot know about.
+      fail_rule("nonpositive-value", line_no, e.what());
+    } catch (const std::runtime_error& e) {
+      fail(line_no, e.what());
+    }
+    if (Device* dev = circuit.find(name)) dev->set_source_line(line_no);
   }
   return deck;
 }

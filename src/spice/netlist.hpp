@@ -35,9 +35,32 @@
 
 namespace sfc::spice {
 
+/// Structured parse failure: carries the offending source line and a
+/// stable machine-readable rule id ("duplicate-device", "undefined-model",
+/// "subckt-port-mismatch", "nonpositive-value", "unknown-card",
+/// "unknown-directive", "parse-error", ...). The lint layer converts these
+/// into Diagnostic records; the what() text keeps the historical
+/// "netlist line N: ..." format.
+class NetlistError : public std::runtime_error {
+ public:
+  NetlistError(std::string rule, std::size_t line, const std::string& message)
+      : std::runtime_error("netlist line " + std::to_string(line) + ": " +
+                           message),
+        rule_(std::move(rule)),
+        line_(line) {}
+
+  const std::string& rule() const { return rule_; }
+  std::size_t line() const { return line_; }
+
+ private:
+  std::string rule_;
+  std::size_t line_;
+};
+
 struct TranDirective {
   double dt = 0.0;
   double t_stop = 0.0;
+  std::size_t line = 0;  ///< source line of the .tran card (0 = API-built)
 };
 
 struct DcSweepDirective {
@@ -45,24 +68,38 @@ struct DcSweepDirective {
   double start = 0.0;
   double stop = 0.0;
   double step = 0.0;
+  std::size_t line = 0;
 };
 
 struct AcDirective {
   int points_per_decade = 10;
   double f_start = 1.0;
   double f_stop = 1e9;
+  std::size_t line = 0;
+};
+
+/// A .model card as seen by the parser; `uses` counts instance cards that
+/// referenced it (the lint unused-model rule reads this).
+struct ModelDef {
+  std::string name;
+  std::size_t line = 0;
+  int uses = 0;
 };
 
 struct NetlistDeck {
   std::vector<TranDirective> tran;
   std::vector<DcSweepDirective> dc;
   std::vector<AcDirective> ac;
+  std::vector<ModelDef> models;
   double temperature_c = 27.0;
   bool has_temperature = false;
+  std::size_t temperature_line = 0;
 };
 
-/// Parse `text` into `circuit`. Throws std::runtime_error with a
-/// line-numbered message on malformed input.
+/// Parse `text` into `circuit`. Throws NetlistError (a std::runtime_error)
+/// with a line-numbered message on malformed input. Device cards remember
+/// their source line via Device::source_line(); redefining a device or
+/// model name is a hard error reporting both lines.
 NetlistDeck parse_netlist(const std::string& text, Circuit& circuit);
 
 /// Parse a SPICE number with magnitude suffix ("4.7k", "5f", "10meg").

@@ -83,6 +83,8 @@ class Inductor final : public Device {
                    const std::vector<double>& x) override;
   std::vector<NodeId> terminals() const override { return {a_, b_}; }
 
+  double inductance() const { return henries_; }
+
   std::unique_ptr<Device> clone() const override {
     return std::unique_ptr<Device>(new Inductor(*this));
   }
@@ -182,6 +184,8 @@ class VSwitch final : public Device {
 
   /// Conductance at a given control voltage (exposed for tests).
   double conductance_at(double v_ctrl) const;
+
+  const Params& params() const { return p_; }
 
   std::unique_ptr<Device> clone() const override {
     return std::unique_ptr<Device>(new VSwitch(*this));

@@ -9,6 +9,7 @@
 #include "cim/array.hpp"
 #include "exec/stream.hpp"
 #include "fefet/fefet.hpp"
+#include "lint/linter.hpp"
 #include "spice/engine.hpp"
 #include "spice/primitives.hpp"
 #include "verify/json.hpp"
@@ -93,8 +94,22 @@ FuzzNetlist generate_dc_kcl(util::Rng& rng, FuzzNetlist base) {
     base.devices.push_back(d);
   }
 
-  const int num_resistors = n + static_cast<int>(rng.uniform_index(4));
-  for (int r = 0; r < num_resistors; ++r) {
+  // A resistor ring over a random node order guarantees every node has a
+  // DC path to the grounded sources and at least two terminal touches —
+  // the lint cross-check runs these decks through the static analyzer,
+  // which (rightly) rejects floating islands and dangling terminals.
+  const auto ring = rng.permutation(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    FuzzDevice d;
+    d.kind = FuzzDevice::Kind::kResistor;
+    d.name = next_name("R");
+    d.n1 = static_cast<int>(ring[static_cast<std::size_t>(k)]);
+    d.n2 = static_cast<int>(ring[static_cast<std::size_t>((k + 1) % n)]);
+    d.value = log_uniform(rng, 1e2, 1e7);
+    base.devices.push_back(d);
+  }
+  const int num_extra = static_cast<int>(rng.uniform_index(4));
+  for (int r = 0; r < num_extra; ++r) {
     FuzzDevice d;
     d.kind = FuzzDevice::Kind::kResistor;
     d.name = next_name("R");
@@ -667,9 +682,25 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
   for (int i = 0; i < options.count; ++i) {
     const FuzzNetlist nl = generate_netlist(options, i);
     ++report.per_class[static_cast<int>(nl.cls)];
-    const CheckResult r = check_case(nl, options);
+    CheckResult r = check_case(nl, options);
     h = hash_double(h, static_cast<double>(r.observable));
     ++report.executed;
+
+    // Static-analysis cross-check: every generated-valid card-based deck
+    // must come out of the linter with zero diagnostics (the cim_row class
+    // dumps a comment-only provenance deck, which has nothing to lint).
+    if (!r.failure && options.lint_cross_check &&
+        nl.cls != FuzzClass::kCimRow) {
+      const lint::LintResult linted = lint::lint_source(nl.to_cir());
+      if (!linted.report.clean()) {
+        r.failure = fail("lint_clean", "generated-valid deck produced " +
+                                           std::to_string(
+                                               linted.report.diagnostics()
+                                                   .size()) +
+                                           " diagnostic(s):\n" +
+                                           linted.report.to_text());
+      }
+    }
     if (!r.failure) continue;
 
     FuzzFailure f;
@@ -680,6 +711,14 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
     f.devices_before_shrink = static_cast<int>(nl.devices.size());
     f.minimized = shrink_netlist(nl, options);
     f.devices_after_shrink = static_cast<int>(f.minimized.devices.size());
+    // The linter must take any shrunk reproducer — however degenerate —
+    // without throwing anything but diagnostics.
+    try {
+      (void)lint::lint_source(f.minimized.to_cir(f.invariant));
+    } catch (const std::exception& e) {
+      f.detail += " [lint crashed on reproducer: " + std::string(e.what()) +
+                  "]";
+    }
     const std::string dir =
         options.dump_dir.empty() ? std::string(".") : options.dump_dir;
     const std::string path = dir + "/fuzz_" +

@@ -55,6 +55,11 @@ struct FuzzOptions {
   double permutation_tol = 1e-6;
   /// Include the (slower) transient CiM-row class.
   bool include_cim_rows = true;
+  /// Lint every generated-valid card-based deck (src/lint): a clean
+  /// invariant run whose deck still draws diagnostics is a campaign
+  /// failure — the generator and the static analyzer must agree on what a
+  /// well-formed netlist is.
+  bool lint_cross_check = true;
 };
 
 /// One device card of a generated netlist. Node index -1 is ground,

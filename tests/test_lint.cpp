@@ -1,0 +1,448 @@
+// Tests for the netlist static analyzer (src/lint): one positive and one
+// negative case per rule, the JSON report schema round-trip, the Engine
+// pre-flight gate, a sweep asserting every deck in examples/ lints clean,
+// and the fuzz cross-check (200 generated-valid decks draw zero
+// diagnostics).
+#include <algorithm>
+#include <filesystem>
+#include <optional>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "devices/mosfet.hpp"
+#include "lint/linter.hpp"
+#include "lint/preflight.hpp"
+#include "lint/rules.hpp"
+#include "spice/engine.hpp"
+#include "spice/netlist.hpp"
+#include "spice/primitives.hpp"
+#include "verify/fuzz.hpp"
+#include "verify/json.hpp"
+
+namespace lint = sfc::lint;
+namespace spice = sfc::spice;
+
+namespace {
+
+/// First diagnostic of `rule` in the report, if any.
+std::optional<lint::Diagnostic> find_rule(const lint::LintReport& report,
+                                          const std::string& rule) {
+  for (const auto& d : report.diagnostics()) {
+    if (d.rule == rule) return d;
+  }
+  return std::nullopt;
+}
+
+lint::LintReport lint_text(const std::string& text) {
+  return lint::lint_source(text).report;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- rules
+
+TEST(LintRules, FloatingNodeFlagged) {
+  // Node x sees only a current source and a capacitor: in DC neither
+  // conducts, so the island has no path to ground. Previously this only
+  // surfaced inside the Newton solver (gmin-saturated nonsense voltage or
+  // a singular matrix); the linter now reports it statically.
+  const std::string deck =
+      "* floating island\n"
+      "V1 a 0 1.0\n"
+      "R1 a 0 10k\n"
+      "I1 0 x 1u\n"
+      "C1 x 0 1p\n"
+      ".end\n";
+  const lint::LintReport report = lint_text(deck);
+  const auto d = find_rule(report, "floating-node");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->severity, lint::Severity::kError);
+  EXPECT_EQ(d->line, 4u);  // anchored at I1, the island's first card
+  EXPECT_EQ(d->object, "x");
+  EXPECT_EQ(report.exit_code(), 3);
+}
+
+TEST(LintRules, FloatingNodeNegativeAndTransientCapacitors) {
+  // A bleed resistor fixes the island.
+  EXPECT_TRUE(
+      lint_text("V1 a 0 1.0\nR1 a 0 10k\nI1 0 x 1u\nC1 x 0 1p\n"
+                "RX x 0 1meg\n.end\n")
+          .clean());
+  // With a .tran directive the capacitor's companion model conducts, so
+  // the same topology is legal.
+  EXPECT_TRUE(lint_text("V1 a 0 1.0\nR1 a 0 10k\nI1 0 x 1u\nC1 x 0 1p\n"
+                        ".tran 1n 10n\n.end\n")
+                  .clean());
+}
+
+TEST(LintRules, VsourceLoopFlagged) {
+  const std::string deck =
+      "* parallel sources over-determine node a\n"
+      "V1 a 0 1.0\n"
+      "V2 a 0 2.0\n"
+      "R1 a 0 1k\n"
+      ".end\n";
+  const lint::LintReport report = lint_text(deck);
+  const auto d = find_rule(report, "vsource-loop");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->severity, lint::Severity::kError);
+  EXPECT_EQ(d->line, 3u);  // the second source closes the loop
+  EXPECT_EQ(d->object, "V2");
+  EXPECT_EQ(report.exit_code(), 3);
+}
+
+TEST(LintRules, VsourceLoopViaInductorAndShort) {
+  // Inductors are DC shorts, so V + L in parallel is a loop too.
+  EXPECT_TRUE(find_rule(lint_text("V1 a 0 1.0\nL1 a 0 1u\nR1 a 0 1k\n.end\n"),
+                        "vsource-loop")
+                  .has_value());
+  // A source with both terminals on one node is the degenerate loop.
+  const auto d =
+      find_rule(lint_text("V1 x x 1.0\nR1 x 0 1k\n.end\n"), "vsource-loop");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_NE(d->message.find("shorted"), std::string::npos);
+  // Series-connected sources are fine.
+  EXPECT_TRUE(
+      lint_text("V1 a 0 1.0\nV2 b a 1.0\nR1 b 0 1k\n.end\n").clean());
+}
+
+TEST(LintRules, DanglingTerminalWarned) {
+  const std::string deck =
+      "V1 a 0 1.0\n"
+      "R1 a b 10k\n"
+      ".end\n";
+  const lint::LintReport report = lint_text(deck);
+  const auto d = find_rule(report, "dangling-terminal");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->severity, lint::Severity::kWarning);
+  EXPECT_EQ(d->line, 2u);
+  EXPECT_NE(d->message.find("'b'"), std::string::npos);
+  EXPECT_EQ(report.exit_code(), 2);  // warnings only
+  // Closing the divider clears it.
+  EXPECT_TRUE(
+      lint_text("V1 a 0 1.0\nR1 a b 10k\nR2 b 0 10k\n.end\n").clean());
+}
+
+TEST(LintRules, UnusedNodeNoted) {
+  spice::Circuit circuit;
+  const spice::NodeId a = circuit.node("a");
+  circuit.add<spice::VSource>("V1", a, spice::kGround, 1.0);
+  circuit.add<spice::Resistor>("R1", a, spice::kGround, 1e3);
+  circuit.node("orphan");
+  const lint::LintReport report = lint::Linter{}.run(circuit);
+  const auto d = find_rule(report, "unused-node");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->severity, lint::Severity::kNote);
+  EXPECT_EQ(d->object, "orphan");
+  // Untouched nodes are NOT also reported as floating.
+  EXPECT_FALSE(find_rule(report, "floating-node").has_value());
+  EXPECT_EQ(report.exit_code(), 1);
+}
+
+TEST(LintRules, FefetVthWindowFlagged) {
+  // The Preisach model refuses to even construct with an inverted window,
+  // so the deck path reports this at parse time under the same rule id.
+  const std::string bad =
+      "V1 g 0 0.35\n"
+      "R1 g d 10k\n"
+      "Z1 d g 0 state=1 vthlow=1.8 vthhigh=0.3\n"
+      ".end\n";
+  const auto d = find_rule(lint_text(bad), "fefet-vth-window");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->severity, lint::Severity::kError);
+  EXPECT_EQ(d->line, 3u);
+  EXPECT_NE(d->message.find("Z1"), std::string::npos);
+  const std::string good =
+      "V1 g 0 0.35\n"
+      "R1 g d 10k\n"
+      "Z1 d g 0 state=1 vthlow=0.25 vthhigh=1.7\n"
+      ".end\n";
+  EXPECT_FALSE(find_rule(lint_text(good), "fefet-vth-window").has_value());
+}
+
+TEST(LintRules, NonpositiveValueFromParserAndApi) {
+  // The parser rejects the card; the linter surfaces it as a diagnostic
+  // instead of crashing.
+  const lint::LintResult result = lint::lint_source("R1 a 0 -5\n.end\n");
+  EXPECT_FALSE(result.parsed);
+  const auto d = find_rule(result.report, "nonpositive-value");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->line, 1u);
+  // API-built circuits reach the circuit-level rule: a zero-width MOSFET
+  // never went through a card, so only the lint pass can catch it.
+  spice::Circuit circuit;
+  const spice::NodeId dnode = circuit.node("d");
+  const spice::NodeId g = circuit.node("g");
+  circuit.add<spice::VSource>("VD", dnode, spice::kGround, 0.5);
+  circuit.add<spice::VSource>("VG", g, spice::kGround, 0.5);
+  auto& m = circuit.add<sfc::devices::Mosfet>("M1", dnode, g, spice::kGround,
+                                              sfc::devices::MosfetParams{});
+  m.mutable_params().w = 0.0;  // bypasses the constructor's validation
+  const auto d2 =
+      find_rule(lint::Linter{}.run(circuit), "nonpositive-value");
+  ASSERT_TRUE(d2.has_value());
+  EXPECT_EQ(d2->object, "M1");
+}
+
+TEST(LintRules, TranStepFlagged) {
+  const std::string base = "V1 a 0 1.0\nR1 a 0 1k\n";
+  EXPECT_TRUE(
+      find_rule(lint_text(base + ".tran 2n 1n\n.end\n"), "tran-step")
+          .has_value());  // dt > t_stop
+  EXPECT_TRUE(
+      find_rule(lint_text(base + ".tran 0 5n\n.end\n"), "tran-step")
+          .has_value());  // dt <= 0
+  EXPECT_TRUE(lint_text(base + ".tran 1n 10n\n.end\n").clean());
+}
+
+TEST(LintRules, TempRangeWarned) {
+  const std::string base = "V1 a 0 1.0\nR1 a 0 1k\n";
+  const auto hot = find_rule(lint_text(base + ".temp 125\n.end\n"),
+                             "temp-range");
+  ASSERT_TRUE(hot.has_value());
+  EXPECT_EQ(hot->severity, lint::Severity::kWarning);
+  EXPECT_EQ(hot->line, 3u);
+  EXPECT_TRUE(find_rule(lint_text(base + ".temp -40\n.end\n"), "temp-range")
+                  .has_value());
+  // The paper's validated envelope is 0..85 degC inclusive.
+  EXPECT_TRUE(lint_text(base + ".temp 0\n.end\n").clean());
+  EXPECT_TRUE(lint_text(base + ".temp 85\n.end\n").clean());
+}
+
+TEST(LintRules, UnusedModelWarned) {
+  const std::string deck =
+      ".model lonely nmos vth0=0.4\n"
+      "V1 a 0 1.0\n"
+      "R1 a 0 1k\n"
+      ".end\n";
+  const auto d = find_rule(lint_text(deck), "unused-model");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->severity, lint::Severity::kWarning);
+  EXPECT_EQ(d->line, 1u);
+  EXPECT_EQ(d->object, "lonely");
+  const std::string used =
+      ".model busy nmos vth0=0.4\n"
+      "V1 d 0 0.5\n"
+      "V2 g 0 0.5\n"
+      "M1 d g 0 busy\n"
+      ".end\n";
+  EXPECT_FALSE(find_rule(lint_text(used), "unused-model").has_value());
+}
+
+TEST(LintRules, DcSweepSourceFlagged) {
+  EXPECT_TRUE(find_rule(lint_text("V1 a 0 1.0\nR1 a 0 1k\n"
+                                  ".dc VX 0 1 0.1\n.end\n"),
+                        "dc-sweep-source")
+                  .has_value());  // sweep target missing
+  EXPECT_TRUE(find_rule(lint_text("V1 a 0 1.0\nR1 a 0 1k\n"
+                                  ".dc R1 0 1 0.1\n.end\n"),
+                        "dc-sweep-source")
+                  .has_value());  // target is not a V source
+  EXPECT_TRUE(find_rule(lint_text("V1 a 0 1.0\nR1 a 0 1k\n"
+                                  ".dc V1 0 1 0\n.end\n"),
+                        "dc-sweep-source")
+                  .has_value());  // zero step never terminates
+  EXPECT_TRUE(
+      lint_text("V1 a 0 1.0\nR1 a 0 1k\n.dc V1 0 1 0.1\n.end\n").clean());
+}
+
+TEST(LintRules, EmptyDeckNoted) {
+  const lint::LintReport report = lint_text("* nothing but comments\n.end\n");
+  const auto d = find_rule(report, "empty-deck");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->severity, lint::Severity::kNote);
+  EXPECT_EQ(report.exit_code(), 1);
+}
+
+// ------------------------------------------------------- parse-time rules
+
+TEST(LintParseRules, DuplicateDeviceIsHardErrorWithBothLines) {
+  const std::string deck =
+      "R1 a 0 1k\n"
+      "V1 a 0 1.0\n"
+      "R1 a 0 2k\n"
+      ".end\n";
+  spice::Circuit circuit;
+  try {
+    spice::parse_netlist(deck, circuit);
+    FAIL() << "duplicate device name must be a parse error";
+  } catch (const spice::NetlistError& e) {
+    EXPECT_EQ(e.rule(), "duplicate-device");
+    EXPECT_EQ(e.line(), 3u);
+    // The message names both definitions.
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos);
+  }
+  // Through the linter the same failure is a diagnostic, not a crash.
+  const lint::LintResult result = lint::lint_source(deck);
+  EXPECT_FALSE(result.parsed);
+  const auto d = find_rule(result.report, "duplicate-device");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->line, 3u);
+  EXPECT_NE(d->message.find("line 1"), std::string::npos);
+}
+
+TEST(LintParseRules, ModelAndSubcktDiagnostics) {
+  EXPECT_TRUE(find_rule(lint_text(".model m nmos\n.model m nmos\n.end\n"),
+                        "duplicate-model")
+                  .has_value());
+  EXPECT_TRUE(find_rule(lint_text("V1 d 0 0.5\nM1 d d 0 ghost\n.end\n"),
+                        "undefined-model")
+                  .has_value());
+  EXPECT_TRUE(find_rule(lint_text("X1 a b ghost\n.end\n"), "undefined-subckt")
+                  .has_value());
+  const std::string mismatch =
+      ".subckt cell in out\nR1 in out 1k\n.ends\n"
+      "V1 a 0 1.0\n"
+      "X1 a cell\n"
+      ".end\n";
+  EXPECT_TRUE(
+      find_rule(lint_text(mismatch), "subckt-port-mismatch").has_value());
+}
+
+TEST(LintParseRules, UnknownCardAndDirective) {
+  EXPECT_TRUE(
+      find_rule(lint_text("Q1 a b c 5\n.end\n"), "unknown-card").has_value());
+  EXPECT_TRUE(find_rule(lint_text("V1 a 0 1.0\nR1 a 0 1k\n.frobnicate\n.end\n"),
+                        "unknown-directive")
+                  .has_value());
+}
+
+// ------------------------------------------------------------ pipeline
+
+TEST(LintPipeline, RuleTableHasAtLeastTenUniqueIds) {
+  std::set<std::string> ids;
+  for (const auto& rule : lint::builtin_rules()) ids.insert(rule.id);
+  EXPECT_GE(ids.size(), 10u);
+  EXPECT_EQ(ids.size(), lint::builtin_rules().size()) << "duplicate rule id";
+  std::set<std::string> parse_ids;
+  for (const auto& rule : lint::parse_rules()) parse_ids.insert(rule.id);
+  EXPECT_GE(parse_ids.size(), 5u);
+}
+
+TEST(LintPipeline, EnableDisableByRuleId) {
+  const std::string deck =
+      "V1 a 0 1.0\nR1 a 0 10k\nI1 0 x 1u\nC1 x 0 1p\n.end\n";
+  lint::Linter linter;
+  linter.disable("floating-node");
+  EXPECT_FALSE(
+      find_rule(lint::lint_source(deck, linter).report, "floating-node")
+          .has_value());
+  linter.enable("floating-node");
+  EXPECT_TRUE(
+      find_rule(lint::lint_source(deck, linter).report, "floating-node")
+          .has_value());
+  EXPECT_THROW(linter.disable("not-a-rule"), std::runtime_error);
+}
+
+TEST(LintPipeline, ReportIsSortedByLine) {
+  const std::string deck =
+      "I1 0 x 1u\n"
+      "C1 x 0 1p\n"
+      "V1 a 0 1.0\n"
+      "R1 a b 10k\n"
+      ".temp 125\n"
+      ".end\n";
+  const lint::LintReport report = lint_text(deck);
+  ASSERT_GE(report.diagnostics().size(), 3u);
+  EXPECT_TRUE(std::is_sorted(
+      report.diagnostics().begin(), report.diagnostics().end(),
+      [](const lint::Diagnostic& a, const lint::Diagnostic& b) {
+        return a.line < b.line;
+      }));
+}
+
+// ---------------------------------------------------------------- JSON
+
+TEST(LintJson, ReportRoundTripsThroughCanonicalJson) {
+  const std::string deck =
+      "V1 a 0 1.0\nR1 a b 10k\nI1 0 x 1u\nC1 x 0 1p\n.temp 125\n.end\n";
+  const lint::LintReport report = lint_text(deck);
+  ASSERT_FALSE(report.clean());
+  const sfc::verify::Json j = report.to_json("deck.cir");
+  EXPECT_EQ(j.number_at("schema_version"), 1.0);
+  EXPECT_EQ(j.string_at("source"), "deck.cir");
+  // dump -> parse -> from_json -> to_json is byte-identical.
+  const sfc::verify::Json reparsed = sfc::verify::Json::parse(j.dump());
+  const lint::LintReport back = lint::LintReport::from_json(reparsed);
+  EXPECT_EQ(back.to_json("deck.cir").dump(), j.dump());
+  EXPECT_EQ(back.diagnostics().size(), report.diagnostics().size());
+  EXPECT_EQ(back.count(lint::Severity::kError),
+            report.count(lint::Severity::kError));
+}
+
+TEST(LintJson, SeverityNamesRoundTrip) {
+  for (const auto s : {lint::Severity::kNote, lint::Severity::kWarning,
+                       lint::Severity::kError}) {
+    EXPECT_EQ(lint::severity_from_name(lint::severity_name(s)), s);
+  }
+  EXPECT_THROW(lint::severity_from_name("fatal"), std::runtime_error);
+}
+
+// ------------------------------------------------------------- preflight
+
+TEST(LintPreflight, EngineRejectsFloatingDeckBeforeSolving) {
+  const std::string deck =
+      "V1 a 0 1.0\nR1 a 0 10k\nI1 0 x 1u\nC1 x 0 1p\n.end\n";
+  spice::Circuit circuit;
+  const spice::NetlistDeck parsed = spice::parse_netlist(deck, circuit);
+  spice::Engine engine(circuit, parsed.temperature_c);
+  lint::install_preflight(engine, &parsed);
+  try {
+    engine.dc_operating_point();
+    FAIL() << "pre-flight gate should have fired";
+  } catch (const lint::PreflightError& e) {
+    EXPECT_TRUE(e.report().has_errors());
+    EXPECT_NE(std::string(e.what()).find("floating-node"), std::string::npos);
+  }
+  // The gate keeps rejecting on retry (a failing screen is not cached).
+  EXPECT_THROW(engine.dc_operating_point(), lint::PreflightError);
+}
+
+TEST(LintPreflight, CleanDeckSolvesNormally) {
+  const std::string deck = "V1 a 0 1.0\nR1 a b 47k\nR2 b 0 33k\n.end\n";
+  spice::Circuit circuit;
+  const spice::NetlistDeck parsed = spice::parse_netlist(deck, circuit);
+  spice::Engine engine(circuit, parsed.temperature_c);
+  lint::install_preflight(engine, &parsed);
+  const spice::DcResult op = engine.dc_operating_point();
+  EXPECT_NEAR(op.voltage("b"), 1.0 * 33.0 / 80.0, 1e-6);
+}
+
+// ----------------------------------------------------- examples + fuzz
+
+TEST(LintSweep, EveryExampleDeckLintsClean) {
+  namespace fs = std::filesystem;
+  std::size_t decks = 0;
+  for (const auto& entry : fs::directory_iterator(SFC_EXAMPLES_DIR)) {
+    if (entry.path().extension() != ".cir") continue;
+    ++decks;
+    const lint::LintResult result = lint::lint_file(entry.path().string());
+    EXPECT_TRUE(result.parsed) << entry.path();
+    EXPECT_TRUE(result.report.clean())
+        << entry.path() << "\n"
+        << result.report.to_text(entry.path().filename().string());
+  }
+  EXPECT_GE(decks, 6u) << "examples/ should ship lintable decks";
+}
+
+TEST(LintSweep, TwoHundredFuzzDecksLintClean) {
+  sfc::verify::FuzzOptions options;
+  options.count = 200;
+  int checked = 0;
+  for (int i = 0; i < options.count; ++i) {
+    const sfc::verify::FuzzNetlist nl =
+        sfc::verify::generate_netlist(options, i);
+    if (nl.cls == sfc::verify::FuzzClass::kCimRow) continue;  // comment-only
+    const lint::LintResult result = lint::lint_source(nl.to_cir());
+    EXPECT_TRUE(result.parsed) << "case " << i;
+    EXPECT_TRUE(result.report.clean())
+        << "case " << i << " (" << sfc::verify::fuzz_class_name(nl.cls)
+        << ")\n"
+        << nl.to_cir() << result.report.to_text("fuzz");
+    ++checked;
+  }
+  EXPECT_GE(checked, 100);
+}
