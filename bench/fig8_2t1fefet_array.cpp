@@ -9,13 +9,15 @@
 
 #include "cim/energy.hpp"
 #include "cim/mac.hpp"
+#include "trace/cli.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
 using namespace sfc;
 using namespace sfc::cim;
 
-int main() {
+int main(int argc, char** argv) {
+  trace::install_cli_observability(&argc, argv);
   std::printf("== Fig. 8(a): 2T-1FeFET array MAC output ranges, 0-85 degC ==\n\n");
 
   const ArrayConfig cfg = ArrayConfig::proposed_2t1fefet();

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "cim/montecarlo.hpp"
+#include "trace/cli.hpp"
 #include "util/csv.hpp"
 #include "util/histogram.hpp"
 #include "util/stats.hpp"
@@ -18,6 +19,7 @@ using namespace sfc;
 using namespace sfc::cim;
 
 int main(int argc, char** argv) {
+  trace::install_cli_observability(&argc, argv);
   MonteCarloConfig mc;
   mc.runs = 100;
   mc.sigma_vt_fefet = 0.054;
@@ -28,7 +30,10 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--threads=", 0) == 0) {
       mc.exec.threads = std::atoi(arg.c_str() + 10);
     } else {
-      std::fprintf(stderr, "usage: %s [--threads N]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--threads N] [--trace OUT.json] "
+                   "[--metrics OUT.json]\n",
+                   argv[0]);
       return 1;
     }
   }

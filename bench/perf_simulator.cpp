@@ -31,6 +31,7 @@
 #include "nn/cim_engine.hpp"
 #include "spice/engine.hpp"
 #include "spice/primitives.hpp"
+#include "trace/trace.hpp"
 #include "util/rng.hpp"
 #include "verify/json.hpp"
 
@@ -182,6 +183,11 @@ struct KernelResult {
   ArmStats hot;
   bool bit_identical = true;
   bool converged = true;
+  // Solver-counter deltas over the whole kernel (both arms), read from the
+  // trace registry; identically zero in SFC_TRACE=OFF builds.
+  std::uint64_t step_rejections = 0;
+  std::uint64_t lu_factorizations = 0;
+  std::uint64_t gmin_steps = 0;
 
   double speedup() const {
     const double h = hot.median_ms();
@@ -378,10 +384,11 @@ void write_json(const char* path, const std::vector<KernelResult>& kernels) {
   // Canonical, schema-stable layout: sorted keys (Json objects are
   // std::map) and fixed precision; validated by `verify_runner check-bench`.
   Json root = Json::object();
-  root.set("schema_version", Json(2.0));
+  root.set("schema_version", Json(3.0));
   root.set("benchmark", Json(std::string("solver_hotpath_smoke")));
   root.set("build_type", Json(std::string(SFC_BUILD_TYPE)));
   root.set("headline_kernel", Json(std::string("transient_fig8_array")));
+  root.set("sfc_trace_enabled", Json(static_cast<bool>(SFC_TRACE_ENABLED)));
   root.set("target_speedup", Json(2.0));
   root.set("threads", Json(1.0));
   Json arr = Json::array();
@@ -397,6 +404,10 @@ void write_json(const char* path, const std::vector<KernelResult>& kernels) {
     kj.set("speedup", Json(rounded(k.speedup(), 1e3)));
     kj.set("newton_iterations",
            Json(static_cast<double>(k.hot.newton_iterations)));
+    kj.set("step_rejections", Json(static_cast<double>(k.step_rejections)));
+    kj.set("lu_factorizations",
+           Json(static_cast<double>(k.lu_factorizations)));
+    kj.set("gmin_steps", Json(static_cast<double>(k.gmin_steps)));
     kj.set("solves_per_sec", Json(rounded(k.hot.solves_per_sec(), 1e1)));
     kj.set("bit_identical", Json(k.bit_identical));
     kj.set("converged", Json(k.converged));
@@ -417,11 +428,21 @@ void write_json(const char* path, const std::vector<KernelResult>& kernels) {
 int run(const std::string& json_path) {
   std::printf("== Solver hot-path smoke benchmark (build: %s) ==\n\n",
               SFC_BUILD_TYPE);
+  // Each kernel runs under a TestProbe so BENCH_solver.json can report the
+  // solver-counter deltas (iterations already come from DcResult/MacResult).
+  const auto probed = [](KernelResult (*kernel)(int), int samples) {
+    trace::TestProbe probe;
+    KernelResult kr = kernel(samples);
+    kr.step_rejections = probe.counter_delta("spice.tran.steps_rejected");
+    kr.lu_factorizations = probe.counter_delta("spice.lu.factorizations");
+    kr.gmin_steps = probe.counter_delta("spice.newton.gmin_steps");
+    return kr;
+  };
   std::vector<KernelResult> kernels;
-  kernels.push_back(kernel_op_point(5));
-  kernels.push_back(kernel_transient_fig8(9));
-  kernels.push_back(kernel_temperature_sweep(5));
-  kernels.push_back(kernel_montecarlo(3));
+  kernels.push_back(probed(kernel_op_point, 5));
+  kernels.push_back(probed(kernel_transient_fig8, 9));
+  kernels.push_back(probed(kernel_temperature_sweep, 5));
+  kernels.push_back(probed(kernel_montecarlo, 3));
 
   bool ok = true;
   std::printf("%-26s %12s %12s %9s %6s %6s\n", "kernel", "legacy[ms]",
@@ -486,6 +507,56 @@ bool strip_smoke_flags(int* argc, char** argv, std::string* json_path) {
   return smoke;
 }
 
+/// Remove `--trace PATH` / `--metrics PATH` (and the `=` forms) from argv.
+/// Works in both benchmark and smoke mode: --trace enables the span tracer
+/// for the whole run and writes Chrome trace JSON at exit; --metrics writes
+/// the registry snapshot at exit.
+void strip_observability_flags(int* argc, char** argv, std::string* trace_path,
+                               std::string* metrics_path) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" && i + 1 < *argc) {
+      *trace_path = argv[++i];
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      *trace_path = arg.substr(8);
+    } else if (arg == "--metrics" && i + 1 < *argc) {
+      *metrics_path = argv[++i];
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      *metrics_path = arg.substr(10);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
+
+/// Flush the requested observability outputs; returns false on I/O error.
+bool write_observability(const std::string& trace_path,
+                         const std::string& metrics_path) {
+  bool ok = true;
+  if (!trace_path.empty()) {
+    trace::Tracer::global().stop();
+    try {
+      trace::Tracer::global().write_chrome(trace_path);
+      std::printf("trace: wrote %s\n", trace_path.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "trace: %s\n", e.what());
+      ok = false;
+    }
+  }
+  if (!metrics_path.empty()) {
+    try {
+      trace::write_metrics_file(metrics_path);
+      std::printf("metrics: wrote %s\n", metrics_path.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "metrics: %s\n", e.what());
+      ok = false;
+    }
+  }
+  return ok;
+}
+
 void report_montecarlo_speedup(int threads) {
   cim::MonteCarloConfig mc;
   mc.runs = 24;
@@ -519,9 +590,13 @@ void report_montecarlo_speedup(int threads) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string trace_path, metrics_path;
+  strip_observability_flags(&argc, argv, &trace_path, &metrics_path);
+  if (!trace_path.empty()) trace::Tracer::global().start();
   std::string json_path;
   if (strip_smoke_flags(&argc, argv, &json_path)) {
-    return smoke::run(json_path);
+    const int rc = smoke::run(json_path);
+    return write_observability(trace_path, metrics_path) ? rc : 1;
   }
   const int threads = strip_threads_flag(&argc, argv);
   if (threads > 0) report_montecarlo_speedup(threads);
@@ -529,5 +604,5 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  return write_observability(trace_path, metrics_path) ? 0 : 1;
 }

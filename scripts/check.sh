@@ -48,22 +48,48 @@ for bad in floating-node:'I1 0 x 1u\nC1 x 0 1p\n.end' \
   fi
 done
 
+step "observability layer (ctest -L trace)"
+ctest --test-dir "${BUILD_DIR}" -L trace --output-on-failure -j "${JOBS}"
+
 step "golden / oracle / fuzz summary (verify_runner)"
 "${BUILD_DIR}/tools/verify_runner" golden
 "${BUILD_DIR}/tools/verify_runner" oracle
 "${BUILD_DIR}/tools/verify_runner" fuzz --count 200 --dump "${BUILD_DIR}"
 
-step "solver benchmark smoke + JSON schema validation"
-"${BUILD_DIR}/bench/perf_simulator" --smoke --json "${BUILD_DIR}/BENCH_solver.json"
-"${BUILD_DIR}/tools/verify_runner" check-bench "${BUILD_DIR}/BENCH_solver.json"
+step "solver benchmark smoke + JSON schema validation (traced)"
+"${BUILD_DIR}/bench/perf_simulator" --smoke \
+  --json "${BUILD_DIR}/BENCH_solver.json" \
+  --trace "${BUILD_DIR}/trace_smoke.json" \
+  --metrics "${BUILD_DIR}/metrics_smoke.json"
+"${BUILD_DIR}/tools/verify_runner" check-bench "${BUILD_DIR}/BENCH_solver.json" \
+  --keys tests/goldens/bench_solver_keys.json
+# Key-set stability gate: the deterministic counter/histogram names a smoke
+# run registers must match the reviewed golden — silent instrumentation
+# drift in the solver hot path fails the tree.
+"${BUILD_DIR}/tools/verify_runner" check-metrics "${BUILD_DIR}/metrics_smoke.json" \
+  --golden tests/goldens/metrics_keys.json
 
-step "UBSan pass (ctest -L \"spice|verify|lint\" under -fsanitize=undefined)"
+step "SFC_TRACE=OFF build (zero-instrumentation flavour stays green)"
+NOTRACE_DIR="${BUILD_DIR}-notrace"
+cmake -B "${NOTRACE_DIR}" -S . -DSFC_TRACE=OFF \
+  -DSFC_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build "${NOTRACE_DIR}" -j "${JOBS}" \
+  --target perf_simulator verify_runner test_trace test_exec
+ctest --test-dir "${NOTRACE_DIR}" -L "trace|exec" --output-on-failure -j "${JOBS}"
+# The disabled flavour still emits schema-3 BENCH JSON (counters present,
+# zero) and must pass the same schema + key-set validation.
+"${NOTRACE_DIR}/bench/perf_simulator" --smoke \
+  --json "${NOTRACE_DIR}/BENCH_solver.json"
+"${NOTRACE_DIR}/tools/verify_runner" check-bench "${NOTRACE_DIR}/BENCH_solver.json" \
+  --keys tests/goldens/bench_solver_keys.json
+
+step "UBSan pass (ctest -L \"spice|verify|lint|trace\" under -fsanitize=undefined)"
 # -L is an AND filter when repeated; the regex is the union of the labels.
 UBSAN_DIR="${BUILD_DIR}-ubsan"
 cmake -B "${UBSAN_DIR}" -S . -DSFC_SANITIZE=undefined \
   -DSFC_BUILD_BENCH=OFF -DSFC_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build "${UBSAN_DIR}" -j "${JOBS}"
-ctest --test-dir "${UBSAN_DIR}" -L "spice|verify|lint" \
+ctest --test-dir "${UBSAN_DIR}" -L "spice|verify|lint|trace" \
   --output-on-failure -j "${JOBS}"
 
 step "clang-tidy (skipped automatically when the binary is absent)"

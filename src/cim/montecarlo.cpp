@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "exec/stream.hpp"
+#include "trace/trace.hpp"
 #include "util/rng.hpp"
 
 namespace sfc::cim {
@@ -56,6 +57,8 @@ struct RunOutcome {
 
 MonteCarloResult run_montecarlo(const ArrayConfig& cfg,
                                 const MonteCarloConfig& mc) {
+  SFC_TRACE_SPAN("cim.run_montecarlo");
+  SFC_TRACE_COUNT("cim.mc.runs", static_cast<std::uint64_t>(std::max(0, mc.runs)));
   const int n = cfg.cells_per_row;
   MonteCarloResult result;
 

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "exec/thread_pool.hpp"
+#include "trace/trace.hpp"
 
 namespace sfc::exec {
 
@@ -84,6 +85,7 @@ inline double ms_since(Clock::time_point t0) {
 /// drain.
 template <typename Fn>
 JobReport parallel_for(const ExecPolicy& policy, std::size_t n, Fn&& fn) {
+  SFC_TRACE_SPAN("exec.parallel_for");
   JobReport report;
   report.tasks = n;
   report.threads_used = policy.resolved_threads(n);
@@ -140,6 +142,9 @@ JobReport parallel_for(const ExecPolicy& policy, std::size_t n, Fn&& fn) {
   report.wall_ms = detail::ms_since(job_t0);
   report.converged = converged.load();
   report.failed = failed.load();
+  SFC_TRACE_COUNT("exec.jobs", 1);
+  SFC_TRACE_COUNT("exec.tasks.converged", report.converged);
+  SFC_TRACE_COUNT("exec.tasks.failed", report.failed);
   if (error) std::rethrow_exception(error);
   return report;
 }

@@ -1,7 +1,10 @@
 #include "exec/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
+
+#include "trace/trace.hpp"
 
 namespace sfc::exec {
 
@@ -28,6 +31,7 @@ void ThreadPool::submit(std::function<void()> task) {
     }
     queue_.push_back(std::move(task));
   }
+  SFC_TRACE_GAUGE_ADD("exec.pool.queue_depth", 1);
   work_cv_.notify_one();
 }
 
@@ -61,7 +65,22 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++active_;
     }
+    SFC_TRACE_GAUGE_ADD("exec.pool.queue_depth", -1);
+#if SFC_TRACE_ENABLED
+    {
+      // Per-worker busy time, attributed to the shared pool counter (the
+      // per-task split already lives in JobReport::task_ms).
+      const auto t0 = std::chrono::steady_clock::now();
+      task();
+      const auto us = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+      SFC_TRACE_COUNT("exec.pool.busy_us", static_cast<std::uint64_t>(us));
+      SFC_TRACE_COUNT("exec.pool.tasks", 1);
+    }
+#else
     task();
+#endif
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --active_;

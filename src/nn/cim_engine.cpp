@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "exec/stream.hpp"
+#include "trace/trace.hpp"
 
 namespace sfc::nn {
 namespace {
@@ -191,6 +192,12 @@ void CimDotEngine::dot_batch(std::span<const std::uint8_t> a,
                              std::size_t row_stride, std::size_t rows,
                              std::int64_t* out) {
   if (rows == 0) return;
+  SFC_TRACE_SPAN("cim.dot_batch");
+  SFC_TRACE_COUNT("cim.dot.batches", 1);
+  SFC_TRACE_COUNT("cim.dot.rows", rows);
+  SFC_TRACE_COUNT("cim.dot.row_ops",
+                  static_cast<std::uint64_t>(act_bits_) * weight_mag_bits_ * 2 *
+                      ((a.size() + 7) / 8) * rows);
   assert(weights.size() >= (rows - 1) * row_stride + a.size());
   pack_activations(a);
 

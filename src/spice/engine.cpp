@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "trace/trace.hpp"
+
 namespace sfc::spice {
 
 Engine::Engine(Circuit& circuit, double temperature_c)
@@ -85,6 +87,7 @@ bool Engine::newton_solve_legacy(const SimContext& ctx, std::vector<double>& x,
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     assemble(ctx, x, a, b);
     x_new = b;
+    SFC_TRACE_COUNT("spice.lu.dense_solves", 1);
     if (!lu_solve(a, x_new)) {
       if (iterations_out) *iterations_out = iter + 1;
       return false;
@@ -101,8 +104,10 @@ void Engine::prepare_workspace(const SimContext& ctx) {
   const std::size_t size = circuit_.system_size();
   if (ws.size == size && ws.mode == ctx.mode &&
       ws.plan_version == circuit_.plan_version()) {
+    SFC_TRACE_COUNT("spice.stampplan.cache_hits", 1);
     return;
   }
+  SFC_TRACE_COUNT("spice.stampplan.compiles", 1);
   ws.a = DenseMatrix(size, size);
   ws.a_base = DenseMatrix(size, size);
   ws.b.assign(size, 0.0);
@@ -118,11 +123,22 @@ void Engine::prepare_workspace(const SimContext& ctx) {
 
 bool Engine::newton_solve(const SimContext& ctx, std::vector<double>& x,
                           const NewtonOptions& options, int* iterations_out) {
+  SFC_TRACE_SPAN("spice.newton_solve");
   circuit_.finalize();
-  if (!options.use_stamp_plan) {
-    return newton_solve_legacy(ctx, x, options, iterations_out);
-  }
+  int iters = 0;
+  const bool ok = options.use_stamp_plan
+                      ? newton_solve_plan(ctx, x, options, &iters)
+                      : newton_solve_legacy(ctx, x, options, &iters);
+  if (iterations_out) *iterations_out = iters;
+  SFC_TRACE_COUNT("spice.newton.solves", 1);
+  SFC_TRACE_COUNT("spice.newton.iterations", iters);
+  if (!ok) SFC_TRACE_COUNT("spice.newton.failures", 1);
+  return ok;
+}
 
+bool Engine::newton_solve_plan(const SimContext& ctx, std::vector<double>& x,
+                               const NewtonOptions& options,
+                               int* iterations_out) {
   SolverWorkspace& ws = workspaces_[static_cast<int>(ctx.mode)];
   prepare_workspace(ctx);
   const std::size_t size = ws.size;
@@ -179,12 +195,20 @@ bool Engine::newton_solve(const SimContext& ctx, std::vector<double>& x,
       // solve_frozen's schedule is pivot-robust (drift just re-records
       // the order), so a false return means a genuinely singular system —
       // exactly when factor_and_compile/lu_solve would fail too.
-      factored = ws.plan.valid()
-                     ? ws.plan.solve_frozen(ws.a, ws.x_new,
-                                            options.pivot_degradation)
-                     : ws.plan.factor_and_compile(ws.a, ws.x_new, ws.pattern);
+      if (ws.plan.valid()) {
+        const std::size_t refreezes_before = ws.plan.refreeze_count();
+        factored =
+            ws.plan.solve_frozen(ws.a, ws.x_new, options.pivot_degradation);
+        SFC_TRACE_COUNT("spice.lu.frozen_solves", 1);
+        SFC_TRACE_COUNT("spice.lu.refreezes",
+                        ws.plan.refreeze_count() - refreezes_before);
+      } else {
+        factored = ws.plan.factor_and_compile(ws.a, ws.x_new, ws.pattern);
+        SFC_TRACE_COUNT("spice.lu.factorizations", 1);
+      }
     } else {
       factored = lu_solve(ws.a, ws.x_new);
+      SFC_TRACE_COUNT("spice.lu.dense_solves", 1);
     }
     if (!factored) {
       if (iterations_out) *iterations_out = iter + 1;
@@ -211,6 +235,8 @@ void Engine::run_preflight() {
 
 DcResult Engine::dc_operating_point(const NewtonOptions& options,
                                     const std::vector<double>* warm_start) {
+  SFC_TRACE_SPAN("spice.dc_operating_point");
+  SFC_TRACE_COUNT("spice.dc.solves", 1);
   circuit_.finalize();
   run_preflight();
   DcResult result;
@@ -233,10 +259,12 @@ DcResult Engine::dc_operating_point(const NewtonOptions& options,
   result.iterations += iters;
 
   if (!ok) {
+    SFC_TRACE_COUNT("spice.dc.gmin_fallbacks", 1);
     x = initial_vector();
     double gmin = options.gmin_start;
     ok = true;
     while (gmin >= options.gmin_final * 0.999) {
+      SFC_TRACE_COUNT("spice.newton.gmin_steps", 1);
       ctx.gmin = gmin;
       int step_iters = 0;
       if (!newton_solve(ctx, x, options, &step_iters)) {
@@ -304,6 +332,7 @@ std::vector<double> Engine::breakpoints(double t_stop) const {
 
 AcResult Engine::ac(const std::vector<double>& frequencies_hz,
                     const NewtonOptions& options) {
+  SFC_TRACE_SPAN("spice.ac");
   circuit_.finalize();
   AcResult result;
   result.op = dc_operating_point(options);
@@ -357,6 +386,7 @@ std::vector<double> log_frequency_grid(double f_start, double f_stop,
 
 TransientResult Engine::transient(double t_stop,
                                   const TransientOptions& options) {
+  SFC_TRACE_SPAN("spice.transient");
   circuit_.finalize();
   TransientResult result;
 
@@ -387,6 +417,7 @@ TransientResult Engine::transient(double t_stop,
 
   const std::vector<double> bps = breakpoints(t_stop);
   std::size_t next_bp = 0;
+  SFC_TRACE_COUNT("spice.tran.breakpoints", bps.size());
 
   // Running per-source power for trapezoidal energy integration.
   std::vector<double> prev_power(circuit_.devices().size(), 0.0);
@@ -443,6 +474,7 @@ TransientResult Engine::transient(double t_stop,
         break;
       }
       result.total_newton_iterations += iters;
+      SFC_TRACE_COUNT("spice.tran.steps_rejected", 1);
       step *= 0.5;
       ++retries;
     }
@@ -451,6 +483,9 @@ TransientResult Engine::transient(double t_stop,
       return result;
     }
 
+    SFC_TRACE_COUNT("spice.tran.steps_accepted", 1);
+    SFC_TRACE_HIST("spice.tran.newton_iterations_per_step", last_iters);
+
     if (options.adaptive) {
       // Iteration-count step control: easy steps grow the nominal step,
       // hard-fought ones shrink it. Failure halving (above) already
@@ -458,8 +493,10 @@ TransientResult Engine::transient(double t_stop,
       if (retries > 0 || last_iters > options.shrink_above_iterations) {
         dt_nominal = std::max(options.dt * 1e-3,
                               dt_nominal * options.shrink_factor);
+        SFC_TRACE_COUNT("spice.tran.dt_shrinks", 1);
       } else if (last_iters < options.grow_below_iterations) {
         dt_nominal = std::min(dt_max, dt_nominal * options.grow_factor);
+        SFC_TRACE_COUNT("spice.tran.dt_grows", 1);
       }
     }
 

@@ -160,6 +160,10 @@ class Engine {
   bool newton_solve_legacy(const SimContext& ctx, std::vector<double>& x,
                            const NewtonOptions& options, int* iterations_out);
 
+  /// Stamp-plan assembly path (see NewtonOptions::use_stamp_plan).
+  bool newton_solve_plan(const SimContext& ctx, std::vector<double>& x,
+                         const NewtonOptions& options, int* iterations_out);
+
   /// (Re)size workspace buffers and drop stale pattern/plan state.
   void prepare_workspace(const SimContext& ctx);
 

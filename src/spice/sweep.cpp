@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "trace/trace.hpp"
+
 namespace sfc::spice {
 
 std::vector<double> linspace_step(double lo, double hi, double step) {
@@ -71,6 +73,8 @@ std::vector<SweepPoint> run_continuation_sweep(Circuit& circuit,
 std::vector<SweepPoint> run_sweep(Circuit& circuit, const SweepSpec& spec,
                                   const sfc::exec::ExecPolicy& exec,
                                   sfc::exec::JobReport* report) {
+  SFC_TRACE_SPAN("spice.run_sweep");
+  SFC_TRACE_COUNT("spice.sweep.points", spec.values.size());
   if (spec.continuation) {
     return run_continuation_sweep(circuit, spec, report);
   }

@@ -1,0 +1,19 @@
+// One-call CLI wiring for the observability hooks: strip the shared
+// --trace PATH / --metrics PATH flags from argv, start the span tracer when
+// requested, and flush both outputs at normal process exit. Meant for the
+// figure/bench executables whose mains should not each re-implement flag
+// parsing; tools with their own exit-status contracts (perf_simulator,
+// verify_runner) handle the flags explicitly instead.
+#pragma once
+
+namespace sfc::trace {
+
+/// Consume `--trace PATH` / `--metrics PATH` (and `--trace=PATH` /
+/// `--metrics=PATH`) from argv. When --trace is present, starts
+/// Tracer::global() immediately and registers an atexit hook that stops the
+/// tracer and writes Chrome trace JSON to PATH; --metrics registers a dump
+/// of Registry::global() the same way. I/O failures at exit print to stderr
+/// but do not change the exit status. Call once, before argv is parsed.
+void install_cli_observability(int* argc, char** argv);
+
+}  // namespace sfc::trace

@@ -1,0 +1,204 @@
+#include "trace/registry.hpp"
+
+#include <algorithm>
+
+namespace sfc::trace {
+
+void Gauge::raise_max(std::int64_t candidate) {
+  std::int64_t seen = max_.load(std::memory_order_relaxed);
+  while (candidate > seen &&
+         !max_.compare_exchange_weak(seen, candidate,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void Gauge::add(std::int64_t delta) {
+  const std::int64_t now =
+      value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+  raise_max(now);
+}
+
+void Gauge::set(std::int64_t v) {
+  value_.store(v, std::memory_order_relaxed);
+  raise_max(v);
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::record(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double seen = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(seen, seen + value,
+                                     std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::uint64_t Histogram::count_above(double threshold) const {
+  const auto it =
+      std::lower_bound(bounds_.begin(), bounds_.end(), threshold);
+  std::uint64_t total = 0;
+  for (auto idx = static_cast<std::size_t>(it - bounds_.begin()) + 1;
+       idx <= bounds_.size(); ++idx) {
+    total += buckets_[idx].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<double> iteration_buckets() {
+  std::vector<double> bounds;
+  for (int i = 1; i <= 16; ++i) bounds.push_back(i);
+  bounds.push_back(32.0);
+  bounds.push_back(64.0);
+  bounds.push_back(128.0);
+  return bounds;
+}
+
+bool is_timing_metric(const std::string& name) {
+  const auto ends_with = [&name](const char* suffix) {
+    const std::size_t n = std::string(suffix).size();
+    return name.size() >= n && name.compare(name.size() - n, n, suffix) == 0;
+  };
+  return ends_with("_us") || ends_with("_ms");
+}
+
+bool is_scheduling_metric(const std::string& name) {
+  return name.rfind("exec.pool.", 0) == 0;
+}
+
+bool is_deterministic_metric(const std::string& name) {
+  return !is_timing_metric(name) && !is_scheduling_metric(name);
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>(bounds.empty() ? iteration_buckets()
+                                                      : std::move(bounds));
+  }
+  return *slot;
+}
+
+verify::Json Registry::snapshot(bool include_timing) const {
+  using verify::Json;
+  std::lock_guard<std::mutex> lock(mutex_);
+  Json root = Json::object();
+  root.set("schema_version", Json(1.0));
+
+  Json counters = Json::object();
+  for (const auto& [name, c] : counters_) {
+    if (!include_timing && !is_deterministic_metric(name)) continue;
+    counters.set(name, Json(static_cast<double>(c->value())));
+  }
+  root.set("counters", std::move(counters));
+
+  // Gauge values and high-water marks depend on scheduling (how deep the
+  // queue got, how many spans overlapped), so the deterministic snapshot
+  // drops the whole section rather than pretending they replay.
+  if (include_timing) {
+    Json gauges = Json::object();
+    for (const auto& [name, g] : gauges_) {
+      Json gj = Json::object();
+      gj.set("value", Json(static_cast<double>(g->value())));
+      gj.set("max", Json(static_cast<double>(g->max())));
+      gauges.set(name, std::move(gj));
+    }
+    root.set("gauges", std::move(gauges));
+  }
+
+  Json hists = Json::object();
+  for (const auto& [name, h] : histograms_) {
+    if (!include_timing && !is_deterministic_metric(name)) continue;
+    Json hj = Json::object();
+    hj.set("bounds", Json::array_of(h->bounds()));
+    const auto counts = h->counts();
+    std::vector<double> as_double(counts.begin(), counts.end());
+    hj.set("counts", Json::array_of(as_double));
+    hj.set("count", Json(static_cast<double>(h->count())));
+    if (include_timing) {
+      // sum/max of a timing-valued histogram drift run to run even for a
+      // deterministic workload; the deterministic subset keeps only the
+      // bucket counts.
+      hj.set("sum", Json(h->sum()));
+      hj.set("max", Json(h->max()));
+    }
+    hists.set(name, std::move(hj));
+  }
+  root.set("histograms", std::move(hists));
+  return root;
+}
+
+std::vector<std::string> Registry::counter_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) names.push_back(name);
+  return names;
+}
+
+std::map<std::string, std::uint64_t> Registry::counter_values() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, c] : counters_) out[name] = c->value();
+  return out;
+}
+
+std::map<std::string, std::vector<std::uint64_t>> Registry::histogram_counts()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, std::vector<std::uint64_t>> out;
+  for (const auto& [name, h] : histograms_) out[name] = h->counts();
+  return out;
+}
+
+const Histogram* Registry::find_histogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+void write_metrics_file(const std::string& path) {
+  verify::write_json_file(path, Registry::global().snapshot());
+}
+
+}  // namespace sfc::trace

@@ -1,0 +1,149 @@
+// Metrics registry: named counters, gauges and histograms behind atomic
+// hot paths. The registry answers "what did the engine do" (Newton
+// iterations, LU factorizations, step rejections, thread-pool load) as a
+// canonical verify::Json snapshot whose deterministic subset is
+// bit-identical across thread counts for a deterministic workload.
+//
+// Contract
+// --------
+//   * Instrument sites hold a `Counter&` (stable address for the process
+//     lifetime) and touch one relaxed atomic per event — never the
+//     registry mutex, which is only taken on first registration and on
+//     snapshot.
+//   * Metric names are dot-separated paths ("spice.newton.iterations");
+//     names ending in "_us" / "_ms" are *timing* metrics, excluded from
+//     the deterministic snapshot because wall time is scheduling-
+//     dependent. Everything else must be a pure function of the workload
+//     (see DESIGN.md §11 for the name registry).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "verify/json.hpp"
+
+namespace sfc::trace {
+
+/// Monotonic event count. add() is a single relaxed fetch_add.
+class Counter {
+ public:
+  void add(std::uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Signed instantaneous level (queue depth, live engines) with a
+/// high-water mark. add() is one fetch_add plus a CAS loop on the max.
+class Gauge {
+ public:
+  void add(std::int64_t delta);
+  void set(std::int64_t v);
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  std::int64_t max() const { return max_.load(std::memory_order_relaxed); }
+
+ private:
+  void raise_max(std::int64_t candidate);
+
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+/// Fixed-bound histogram: bucket k counts samples with
+/// value <= bounds[k]; one extra overflow bucket catches the rest.
+/// record() is one relaxed fetch_add on the bucket plus CAS maintenance
+/// of sum/max. Bounds are fixed at registration and never change.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void record(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Bucket counts, bounds_.size() + 1 entries (last = overflow).
+  std::vector<std::uint64_t> counts() const;
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double max() const { return max_.load(std::memory_order_relaxed); }
+
+  /// Total recorded samples strictly greater than `threshold` (computed
+  /// from the bucket whose lower edge is >= threshold — exact when the
+  /// threshold is one of the bounds).
+  std::uint64_t count_above(double threshold) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Unit-width buckets 1..16 plus 32/64/128 — sized for per-step Newton
+/// iteration counts (NewtonOptions::max_iterations defaults to 200).
+std::vector<double> iteration_buckets();
+
+/// True for metric names that measure wall time ("_us" / "_ms" suffix):
+/// excluded from the deterministic snapshot and from TestProbe deltas.
+bool is_timing_metric(const std::string& name);
+
+/// True for metrics that depend on how work lands on workers rather than
+/// on the workload ("exec.pool." prefix: a serial job never touches the
+/// pool, a parallel one schedules one drain per worker).
+bool is_scheduling_metric(const std::string& name);
+
+/// Metrics that replay bit-identically for a deterministic workload at any
+/// thread count: neither timing nor scheduling. Only these enter
+/// Registry::snapshot(false) and TestProbe::delta_snapshot().
+bool is_deterministic_metric(const std::string& name);
+
+class Registry {
+ public:
+  /// Process-wide registry every SFC_TRACE_* macro records into.
+  static Registry& global();
+
+  /// Find-or-create. The returned reference is stable for the process
+  /// lifetime, so call sites cache it in a function-local static.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// First registration fixes the bounds (empty = iteration_buckets()).
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> bounds = {});
+
+  /// Canonical metrics snapshot (schema_version 1, sorted keys):
+  ///   { schema_version, counters: {name: n},
+  ///     gauges: {name: {value, max}},
+  ///     histograms: {name: {bounds, counts, count, sum, max}} }
+  /// `include_timing` = false drops "_us"/"_ms" metrics and gauges (whose
+  /// high-water marks depend on scheduling), leaving only values that are
+  /// deterministic for a deterministic workload.
+  verify::Json snapshot(bool include_timing = true) const;
+
+  /// Names currently registered (sorted; diagnostics and tests).
+  std::vector<std::string> counter_names() const;
+
+  /// Raw value maps for delta probes (TestProbe baselines).
+  std::map<std::string, std::uint64_t> counter_values() const;
+  std::map<std::string, std::vector<std::uint64_t>> histogram_counts() const;
+  /// Lookup without creating; nullptr when the name is unregistered.
+  const Histogram* find_histogram(const std::string& name) const;
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Write Registry::global().snapshot() to `path` (dump(2) + newline).
+void write_metrics_file(const std::string& path);
+
+}  // namespace sfc::trace

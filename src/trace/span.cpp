@@ -1,0 +1,132 @@
+#include "trace/span.hpp"
+
+#include <algorithm>
+
+namespace sfc::trace {
+
+namespace {
+
+thread_local int t_open_spans = 0;
+
+}  // namespace
+
+int open_span_count() { return t_open_spans; }
+
+Tracer& Tracer::global() {
+  static Tracer instance;
+  return instance;
+}
+
+double Tracer::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0_)
+      .count();
+}
+
+void Tracer::start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    buf->events.clear();
+  }
+  t0_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::stop() { enabled_.store(false, std::memory_order_release); }
+
+Tracer::ThreadBuffer& Tracer::buffer_for_this_thread() {
+  thread_local ThreadBuffer* t_buffer = nullptr;
+  if (t_buffer == nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto buf = std::make_unique<ThreadBuffer>();
+    buf->tid = static_cast<int>(buffers_.size()) + 1;
+    t_buffer = buf.get();
+    buffers_.push_back(std::move(buf));
+  }
+  return *t_buffer;
+}
+
+void Tracer::record(const SpanEvent& event) {
+  if (!enabled()) return;
+  ThreadBuffer& buf = buffer_for_this_thread();
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  buf.events.push_back(event);
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    n += buf->events.size();
+  }
+  return n;
+}
+
+verify::Json Tracer::chrome_json() const {
+  using verify::Json;
+  struct Row {
+    int tid;
+    SpanEvent ev;
+  };
+  std::vector<Row> rows;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& buf : buffers_) {
+      std::lock_guard<std::mutex> buf_lock(buf->mutex);
+      for (const SpanEvent& ev : buf->events) rows.push_back({buf->tid, ev});
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.tid != b.tid) return a.tid < b.tid;
+    if (a.ev.ts_us != b.ev.ts_us) return a.ev.ts_us < b.ev.ts_us;
+    return a.ev.dur_us > b.ev.dur_us;  // parents before children
+  });
+
+  Json events = Json::array();
+  for (const Row& row : rows) {
+    Json e = Json::object();
+    e.set("name", Json(std::string(row.ev.name)));
+    e.set("cat", Json("sfc"));
+    e.set("ph", Json("X"));
+    e.set("ts", Json(row.ev.ts_us));
+    e.set("dur", Json(row.ev.dur_us));
+    e.set("pid", Json(1.0));
+    e.set("tid", Json(static_cast<double>(row.tid)));
+    Json args = Json::object();
+    args.set("depth", Json(static_cast<double>(row.ev.depth)));
+    e.set("args", std::move(args));
+    events.as_array().push_back(std::move(e));
+  }
+  Json root = Json::object();
+  root.set("displayTimeUnit", Json("ms"));
+  root.set("traceEvents", std::move(events));
+  return root;
+}
+
+void Tracer::write_chrome(const std::string& path) const {
+  verify::write_json_file(path, chrome_json());
+}
+
+SpanScope::SpanScope(const char* name) noexcept {
+  Tracer& tracer = Tracer::global();
+  if (!tracer.enabled()) return;
+  name_ = name;
+  depth_ = t_open_spans++;
+  t0_us_ = tracer.now_us();
+}
+
+SpanScope::~SpanScope() {
+  if (name_ == nullptr) return;
+  --t_open_spans;
+  Tracer& tracer = Tracer::global();
+  SpanEvent event;
+  event.name = name_;
+  event.ts_us = t0_us_;
+  event.dur_us = tracer.now_us() - t0_us_;
+  event.depth = depth_;
+  tracer.record(event);
+}
+
+}  // namespace sfc::trace

@@ -1,0 +1,94 @@
+// Scoped-span tracing with Chrome-tracing export.
+//
+// SpanScope is an RAII region marker: construction notes the start time,
+// destruction records a complete ("ph":"X") event into the global Tracer
+// — also on the exception path, so an engine error can never leave a span
+// open (test_verify_fuzz asserts this). When the tracer is disabled the
+// constructor is one relaxed atomic load and nothing is recorded.
+//
+// Events land in per-thread buffers (one mutex acquisition per thread
+// lifetime, to register the buffer); export merges and sorts them into a
+// chrome://tracing JSON document.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "verify/json.hpp"
+
+namespace sfc::trace {
+
+/// One closed span. `name` must be a string literal (call sites pass
+/// SFC_TRACE_SPAN("...") literals; nothing is copied on the hot path).
+struct SpanEvent {
+  const char* name = "";
+  double ts_us = 0.0;   ///< start, microseconds since Tracer::start()
+  double dur_us = 0.0;
+  int depth = 0;        ///< nesting depth within the recording thread
+};
+
+/// Open-span nesting depth of the *calling thread*: incremented by live
+/// SpanScopes, decremented on destruction (also when unwinding). Zero
+/// whenever no span is active — the exception-safety invariant.
+int open_span_count();
+
+class Tracer {
+ public:
+  static Tracer& global();
+
+  /// Clear previous events and begin recording (t = 0 is this call).
+  void start();
+  /// Stop recording; buffered events stay available for export.
+  void stop();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Record a closed span on the calling thread's buffer. No-op when the
+  /// tracer is disabled (spans that straddle stop() are dropped).
+  void record(const SpanEvent& event);
+
+  std::size_t event_count() const;
+
+  /// Chrome-tracing document: {"displayTimeUnit":"ms","traceEvents":[...]}
+  /// with one "X" event per span (pid 1, tid = buffer registration
+  /// order), sorted by (tid, ts). Loads in chrome://tracing / Perfetto.
+  verify::Json chrome_json() const;
+  void write_chrome(const std::string& path) const;
+
+  double now_us() const;
+
+ private:
+  struct ThreadBuffer {
+    int tid = 0;
+    std::vector<SpanEvent> events;
+    std::mutex mutex;  ///< events are flushed while the thread may record
+  };
+
+  Tracer() = default;
+  ThreadBuffer& buffer_for_this_thread();
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point t0_{};
+  mutable std::mutex mutex_;  ///< guards buffers_ registration/iteration
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+class SpanScope {
+ public:
+  explicit SpanScope(const char* name) noexcept;
+  ~SpanScope();
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  const char* name_ = nullptr;  ///< null = tracer was off at entry
+  int depth_ = 0;
+  double t0_us_ = 0.0;
+};
+
+}  // namespace sfc::trace

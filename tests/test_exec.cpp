@@ -16,6 +16,7 @@
 #include "nn/cim_engine.hpp"
 #include "spice/primitives.hpp"
 #include "spice/sweep.hpp"
+#include "trace/trace.hpp"
 
 namespace sfc::exec {
 namespace {
@@ -38,6 +39,9 @@ TEST(StreamRng, SameStreamSameDraws) {
 }
 
 TEST(ThreadPool, RunsSubmittedTasks) {
+#if SFC_TRACE_ENABLED
+  sfc::trace::TestProbe probe;
+#endif
   ThreadPool pool(4);
   std::atomic<int> count{0};
   for (int i = 0; i < 100; ++i) {
@@ -45,7 +49,29 @@ TEST(ThreadPool, RunsSubmittedTasks) {
   }
   pool.wait_idle();
   EXPECT_EQ(count.load(), 100);
+#if SFC_TRACE_ENABLED
+  // Every submit passed through the instrumented worker loop, and the
+  // queue-depth gauge returned to its pre-test level (all +1s drained).
+  EXPECT_EQ(probe.counter_delta("exec.pool.tasks"), 100u);
+#endif
 }
+
+#if SFC_TRACE_ENABLED
+TEST(ThreadPool, QueueDepthGaugeDrainsToBaseline) {
+  sfc::trace::Registry& reg = sfc::trace::Registry::global();
+  const std::int64_t baseline = reg.gauge("exec.pool.queue_depth").value();
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) pool.submit([] {});
+    pool.wait_idle();
+  }
+  EXPECT_EQ(reg.gauge("exec.pool.queue_depth").value(), baseline);
+}
+#else
+TEST(ThreadPool, QueueDepthGaugeDrainsToBaseline) {
+  GTEST_SKIP() << "built with SFC_TRACE=OFF; gauges compile to no-ops";
+}
+#endif
 
 TEST(ThreadPool, ShutdownIsIdempotent) {
   ThreadPool pool(2);
@@ -96,12 +122,41 @@ TEST(ParallelFor, OddSizeVisitsEachIndexExactlyOnce) {
 }
 
 TEST(ParallelFor, TalliesConvergedAndFailed) {
+#if SFC_TRACE_ENABLED
+  sfc::trace::TestProbe probe;
+#endif
   // A bool-returning body feeds the converged / failed counters.
   const JobReport report = parallel_for(
       ExecPolicy{2, 0}, 10, [](std::size_t i) { return i % 2 == 0; });
   EXPECT_EQ(report.converged, 5u);
   EXPECT_EQ(report.failed, 5u);
+#if SFC_TRACE_ENABLED
+  // The job mirrors its report into the registry.
+  EXPECT_EQ(probe.counter_delta("exec.jobs"), 1u);
+  EXPECT_EQ(probe.counter_delta("exec.tasks.converged"), 5u);
+  EXPECT_EQ(probe.counter_delta("exec.tasks.failed"), 5u);
+#endif
 }
+
+#if SFC_TRACE_ENABLED
+TEST(ParallelFor, TaskCountersAreThreadCountInvariant) {
+  // The same job records the same deterministic counters no matter how
+  // many workers executed it — the registry-level determinism contract.
+  constexpr std::size_t n = 23;
+  std::vector<std::uint64_t> converged_deltas;
+  for (int threads : {1, 2, 8}) {
+    sfc::trace::TestProbe probe;
+    parallel_for(ExecPolicy{threads, 0}, n, [](std::size_t) {});
+    EXPECT_EQ(probe.counter_delta("exec.jobs"), 1u) << threads << " threads";
+    converged_deltas.push_back(probe.counter_delta("exec.tasks.converged"));
+  }
+  for (const std::uint64_t d : converged_deltas) EXPECT_EQ(d, n);
+}
+#else
+TEST(ParallelFor, TaskCountersAreThreadCountInvariant) {
+  GTEST_SKIP() << "built with SFC_TRACE=OFF; counters compile to no-ops";
+}
+#endif
 
 TEST(ParallelFor, PropagatesExceptions) {
   for (int threads : {1, 3}) {
@@ -144,13 +199,32 @@ TEST(Determinism, MonteCarloBitIdenticalAcrossThreadCounts) {
   mc.mac_values = {0, 4, 8};
   const cim::ArrayConfig cfg = cim::ArrayConfig::proposed_2t1fefet();
 
+#if SFC_TRACE_ENABLED
+  sfc::trace::TestProbe serial_probe;
+#endif
   mc.exec.threads = 1;
   const cim::MonteCarloResult serial = cim::run_montecarlo(cfg, mc);
   ASSERT_FALSE(serial.samples.empty());
+#if SFC_TRACE_ENABLED
+  // The determinism contract extends to the registry: solver-work counters
+  // recorded during a serial run must match any parallel run exactly.
+  const std::uint64_t serial_iters =
+      serial_probe.counter_delta("spice.newton.iterations");
+  EXPECT_EQ(serial_probe.counter_delta("cim.mc.runs"), 3u);
+  EXPECT_GT(serial_iters, 0u);
+#endif
 
   for (int threads : {2, 8}) {
+#if SFC_TRACE_ENABLED
+    sfc::trace::TestProbe probe;
+#endif
     mc.exec.threads = threads;
     const cim::MonteCarloResult parallel = cim::run_montecarlo(cfg, mc);
+#if SFC_TRACE_ENABLED
+    EXPECT_EQ(probe.counter_delta("spice.newton.iterations"), serial_iters)
+        << threads << " threads";
+    EXPECT_EQ(probe.counter_delta("cim.mc.runs"), 3u);
+#endif
     ASSERT_EQ(parallel.samples.size(), serial.samples.size());
     for (std::size_t i = 0; i < serial.samples.size(); ++i) {
       EXPECT_EQ(parallel.samples[i].run, serial.samples[i].run);
@@ -184,6 +258,9 @@ TEST(Determinism, DotBatchBitIdenticalAcrossThreadCounts) {
   }
 
   auto run = [&](int threads) {
+#if SFC_TRACE_ENABLED
+    sfc::trace::TestProbe probe;
+#endif
     nn::CimDotEngine::Options opts;
     opts.with_variation_noise = true;  // exercises the per-row noise streams
     opts.noise_seed = 11;
@@ -192,6 +269,14 @@ TEST(Determinism, DotBatchBitIdenticalAcrossThreadCounts) {
     std::vector<std::int64_t> out(rows);
     engine.dot_batch(a, w, len, rows, out.data());
     engine.dot_batch(a, w, len, rows, out.data());  // second batch, new rows
+#if SFC_TRACE_ENABLED
+    // Throughput counters are a pure function of the workload shape, so
+    // they too must be thread-count invariant.
+    EXPECT_EQ(probe.counter_delta("cim.dot.batches"), 2u)
+        << threads << " threads";
+    EXPECT_EQ(probe.counter_delta("cim.dot.rows"), 2u * rows)
+        << threads << " threads";
+#endif
     return out;
   };
 
@@ -215,13 +300,30 @@ TEST(Determinism, SweepBitIdenticalAcrossThreadCounts) {
     static_cast<spice::VSource*>(c.find("V1"))->set_dc(v);
   };
 
+#if SFC_TRACE_ENABLED
+  sfc::trace::TestProbe serial_probe;
+#endif
   const auto serial = spice::run_sweep(ckt, spec, ExecPolicy::serial());
   ASSERT_EQ(serial.size(), spec.values.size());
+#if SFC_TRACE_ENABLED
+  const std::uint64_t serial_iters =
+      serial_probe.counter_delta("spice.newton.iterations");
+  EXPECT_EQ(serial_probe.counter_delta("spice.sweep.points"), 13u);
+  EXPECT_GT(serial_iters, 0u);
+#endif
 
   for (int threads : {2, 8}) {
+#if SFC_TRACE_ENABLED
+    sfc::trace::TestProbe probe;
+#endif
     JobReport report;
     const auto parallel =
         spice::run_sweep(ckt, spec, ExecPolicy{threads, 0}, &report);
+#if SFC_TRACE_ENABLED
+    EXPECT_EQ(probe.counter_delta("spice.newton.iterations"), serial_iters)
+        << threads << " threads";
+    EXPECT_EQ(probe.counter_delta("spice.sweep.points"), 13u);
+#endif
     ASSERT_EQ(parallel.size(), serial.size());
     for (std::size_t i = 0; i < serial.size(); ++i) {
       EXPECT_EQ(parallel[i].value, serial[i].value);

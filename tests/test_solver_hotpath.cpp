@@ -1,7 +1,9 @@
 // Solver hot-path validation: the compiled stamp-plan assembly and the
 // frozen-pivot LU must be *bit-identical* to the legacy full-restamp /
 // full-pivot path — not tolerance-close — on the paper's circuits, and
-// the steady-state Newton loop must not touch the heap.
+// the steady-state Newton loop must not touch the heap. Trace-counter
+// (TestProbe) assertions cross-check the engine's self-reported iteration
+// totals against the instrumentation; they compile out with SFC_TRACE=OFF.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -17,6 +19,7 @@
 #include "spice/netlist.hpp"
 #include "spice/primitives.hpp"
 #include "spice/sweep.hpp"
+#include "trace/trace.hpp"
 
 // ---------------------------------------------------------------------
 // Global allocation counter. Only the delta between snapshots matters;
@@ -101,17 +104,43 @@ TEST(SolverHotPath, Fig7CellDcBitIdentical) {
   row.set_stored({1});
 
   Engine legacy_engine(row.circuit(), 27.0);
+#if SFC_TRACE_ENABLED
+  sfc::trace::TestProbe legacy_probe;
+#endif
   const DcResult ref = legacy_engine.dc_operating_point(legacy_options());
   ASSERT_TRUE(ref.converged);
+#if SFC_TRACE_ENABLED
+  // The instrumentation and the engine's self-report must agree.
+  EXPECT_EQ(legacy_probe.counter_delta("spice.dc.solves"), 1u);
+  EXPECT_EQ(legacy_probe.counter_delta("spice.newton.iterations"),
+            static_cast<std::uint64_t>(ref.iterations));
+  EXPECT_GT(legacy_probe.counter_delta("spice.lu.dense_solves"), 0u);
+  EXPECT_EQ(legacy_probe.counter_delta("spice.stampplan.compiles"), 0u);
+#endif
 
   for (const bool reuse : {false, true}) {
     Engine hot_engine(row.circuit(), 27.0);
+#if SFC_TRACE_ENABLED
+    sfc::trace::TestProbe hot_probe;
+#endif
     const DcResult hot = hot_engine.dc_operating_point(hot_options(reuse));
     ASSERT_TRUE(hot.converged);
     EXPECT_EQ(hot.iterations, ref.iterations) << "reuse=" << reuse;
     EXPECT_TRUE(bits_equal(hot.gmin_used, ref.gmin_used));
     expect_vectors_bitwise_equal(hot.x, ref.x,
                                  reuse ? "x (frozen pivots)" : "x");
+#if SFC_TRACE_ENABLED
+    EXPECT_EQ(hot_probe.counter_delta("spice.newton.iterations"),
+              static_cast<std::uint64_t>(hot.iterations));
+    EXPECT_GT(hot_probe.counter_delta("spice.stampplan.compiles"), 0u);
+    if (reuse) {
+      EXPECT_GT(hot_probe.counter_delta("spice.lu.frozen_solves"), 0u);
+      EXPECT_EQ(hot_probe.counter_delta("spice.lu.dense_solves"), 0u);
+    } else {
+      EXPECT_GT(hot_probe.counter_delta("spice.lu.dense_solves"), 0u);
+      EXPECT_EQ(hot_probe.counter_delta("spice.lu.frozen_solves"), 0u);
+    }
+#endif
   }
 }
 
@@ -132,15 +161,38 @@ TEST(SolverHotPath, Fig8RowTransientBitIdentical) {
 
   cim::CiMRow legacy_row(legacy_cfg);
   legacy_row.set_stored(stored);
+#if SFC_TRACE_ENABLED
+  sfc::trace::TestProbe legacy_probe;
+#endif
   const cim::MacResult ref =
       legacy_row.evaluate(inputs, 27.0, /*keep_waveforms=*/true);
   ASSERT_TRUE(ref.converged);
 
   cim::CiMRow hot_row(hot_cfg);
   hot_row.set_stored(stored);
+#if SFC_TRACE_ENABLED
+  // Every Newton iteration the MAC transient reports must have passed
+  // through the instrumented wrapper — exact, not approximate.
+  EXPECT_EQ(legacy_probe.counter_delta("spice.newton.iterations"),
+            static_cast<std::uint64_t>(ref.newton_iterations));
+  sfc::trace::TestProbe hot_probe;
+#endif
   const cim::MacResult hot =
       hot_row.evaluate(inputs, 27.0, /*keep_waveforms=*/true);
   ASSERT_TRUE(hot.converged);
+#if SFC_TRACE_ENABLED
+  EXPECT_EQ(hot_probe.counter_delta("spice.newton.iterations"),
+            static_cast<std::uint64_t>(hot.newton_iterations));
+  EXPECT_GT(hot_probe.counter_delta("spice.lu.frozen_solves"), 0u);
+  // Exactly one histogram record per accepted step, by construction.
+  EXPECT_EQ(hot_probe.histogram_delta("spice.tran.newton_iterations_per_step"),
+            hot_probe.counter_delta("spice.tran.steps_accepted"));
+  EXPECT_GT(hot_probe.counter_delta("spice.tran.steps_accepted"), 0u);
+  // No step on this workload fights Newton past the 16-iteration band.
+  EXPECT_EQ(hot_probe.histogram_delta_above(
+                "spice.tran.newton_iterations_per_step", 16.0),
+            0u);
+#endif
 
   EXPECT_TRUE(bits_equal(hot.v_acc, ref.v_acc));
   EXPECT_TRUE(bits_equal(hot.energy_joules, ref.energy_joules));
@@ -205,17 +257,39 @@ TEST(SolverHotPath, TemperatureSweepBitIdenticalAt1And8Threads) {
     return run_sweep(row.circuit(), spec, exec);
   };
 
+#if SFC_TRACE_ENABLED
+  sfc::trace::TestProbe ref_probe;
+#endif
   const auto ref = run(false, 1);
   ASSERT_EQ(ref.size(), spec.values.size());
   for (const auto& p : ref) ASSERT_TRUE(p.op.converged);
+#if SFC_TRACE_ENABLED
+  const std::uint64_t ref_iterations =
+      ref_probe.counter_delta("spice.newton.iterations");
+  EXPECT_EQ(ref_probe.counter_delta("spice.sweep.points"),
+            spec.values.size());
+  EXPECT_EQ(ref_probe.counter_delta("exec.jobs"), 1u);
+  EXPECT_EQ(ref_probe.counter_delta("exec.tasks.converged"),
+            spec.values.size());
+#endif
 
   struct Case {
     bool hot;
     int threads;
   };
   for (const Case c : {Case{false, 8}, Case{true, 1}, Case{true, 8}}) {
+#if SFC_TRACE_ENABLED
+    sfc::trace::TestProbe case_probe;
+#endif
     const auto pts = run(c.hot, c.threads);
     ASSERT_EQ(pts.size(), ref.size());
+#if SFC_TRACE_ENABLED
+    // Bit-identical solves imply identical iteration counts — for both
+    // assembly paths and regardless of the thread count.
+    EXPECT_EQ(case_probe.counter_delta("spice.newton.iterations"),
+              ref_iterations)
+        << "hot=" << c.hot << " threads=" << c.threads;
+#endif
     for (std::size_t i = 0; i < pts.size(); ++i) {
       expect_vectors_bitwise_equal(
           pts[i].op.x, ref[i].op.x,
@@ -461,10 +535,20 @@ TEST(SolverHotPath, SteadyStateNewtonSolveDoesNotAllocate) {
   ASSERT_TRUE(engine.newton_solve(ctx, x, options, &iterations));
   ASSERT_TRUE(engine.workspace().plan.valid());
   EXPECT_GT(engine.workspace().plan.compiled_ops(), 0u);
+  // Second warm-up runs the steady-state (frozen-pivot) branch once so
+  // its trace counters do their one-time registration outside the
+  // counted region — first execution of a SFC_TRACE_COUNT site
+  // allocates the registry entry, every later hit is a relaxed add.
+  ASSERT_TRUE(engine.newton_solve(ctx, x, options, &iterations));
 
   // Steady state: resolving from the converged point re-runs the full
   // iterate-restamp-solve loop (Newton needs >= 2 iterations to declare
-  // convergence) without a single allocation.
+  // convergence) without a single allocation. The probe (constructed
+  // outside the counted region) proves the trace counters stay live on
+  // this path — instrumentation must be allocation-free too.
+#if SFC_TRACE_ENABLED
+  sfc::trace::TestProbe probe;
+#endif
   const long before = g_alloc_count.load();
   const bool ok = engine.newton_solve(ctx, x, options, &iterations);
   const long after = g_alloc_count.load();
@@ -472,6 +556,11 @@ TEST(SolverHotPath, SteadyStateNewtonSolveDoesNotAllocate) {
   EXPECT_GE(iterations, 1);
   EXPECT_EQ(after - before, 0) << "newton_solve allocated on the steady-"
                                   "state path";
+#if SFC_TRACE_ENABLED
+  EXPECT_EQ(probe.counter_delta("spice.newton.solves"), 1u);
+  EXPECT_EQ(probe.counter_delta("spice.newton.iterations"),
+            static_cast<std::uint64_t>(iterations));
+#endif
 }
 
 }  // namespace

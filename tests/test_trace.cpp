@@ -1,0 +1,323 @@
+// Observability layer (src/trace): registry semantics, histogram
+// bucketing, scoped-span nesting and Chrome-trace export, TestProbe
+// deltas, cross-thread-count snapshot determinism, and the SFC_TRACE=OFF
+// zero-cost contract (via trace_off_tu.cpp, compiled with the gate forced
+// off).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cim/array.hpp"
+#include "cim/montecarlo.hpp"
+#include "exec/parallel.hpp"
+#include "trace/trace.hpp"
+#include "verify/json.hpp"
+
+using namespace sfc;
+using trace::Registry;
+using trace::Tracer;
+using verify::Json;
+
+// trace_off_tu.cpp: same macros, gate forced off.
+namespace sfc::trace::test_off {
+int run_disabled_instrumentation();
+}
+
+namespace {
+
+/// Round-trip through the canonical text form: proves the document is
+/// well-formed JSON and gives a diffable string.
+std::string canonical(const Json& j) { return Json::parse(j.dump()).dump(); }
+
+/// First traceEvents entry with the given name; nullptr when absent.
+const Json* find_event(const Json& chrome, const std::string& name) {
+  for (const Json& e : chrome.get("traceEvents").as_array()) {
+    if (e.string_at("name") == name) return &e;
+  }
+  return nullptr;
+}
+
+TEST(TraceRegistry, CounterFindOrCreateIsStableAndAccumulates) {
+  trace::Counter& c = Registry::global().counter("test.registry.counter");
+  const std::uint64_t before = c.value();
+  c.add(3);
+  c.add(4);
+  EXPECT_EQ(c.value(), before + 7);
+  // Same name resolves to the same counter object.
+  EXPECT_EQ(&Registry::global().counter("test.registry.counter"), &c);
+}
+
+TEST(TraceRegistry, GaugeTracksValueAndHighWater) {
+  trace::Gauge& g = Registry::global().gauge("test.registry.gauge");
+  g.set(0);
+  g.add(5);
+  g.add(-2);
+  EXPECT_EQ(g.value(), 3);
+  EXPECT_GE(g.max(), 5);
+  g.add(1);
+  EXPECT_EQ(g.value(), 4);
+}
+
+TEST(TraceRegistry, HistogramBucketingAndCountAbove) {
+  trace::Histogram h(std::vector<double>{1.0, 2.0, 4.0});
+  for (const double v : {0.5, 1.0, 1.5, 2.0, 3.0, 10.0}) h.record(v);
+  // Bucket k counts values <= bounds[k]; the last bucket is overflow.
+  EXPECT_EQ(h.counts(), (std::vector<std::uint64_t>{2, 2, 1, 1}));
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 18.0);
+  EXPECT_DOUBLE_EQ(h.max(), 10.0);
+  // Exact at bucket bounds.
+  EXPECT_EQ(h.count_above(1.0), 4u);
+  EXPECT_EQ(h.count_above(2.0), 2u);
+  EXPECT_EQ(h.count_above(4.0), 1u);
+}
+
+TEST(TraceRegistry, DefaultHistogramBoundsAreIterationBuckets) {
+  trace::Histogram& h = Registry::global().histogram("test.registry.hist");
+  EXPECT_EQ(h.bounds(), trace::iteration_buckets());
+  EXPECT_EQ(h.bounds().front(), 1.0);
+  EXPECT_EQ(h.bounds().back(), 128.0);
+}
+
+TEST(TraceRegistry, MetricNameClassification) {
+  EXPECT_TRUE(trace::is_timing_metric("exec.pool.busy_us"));
+  EXPECT_TRUE(trace::is_timing_metric("spice.solve_ms"));
+  EXPECT_FALSE(trace::is_timing_metric("spice.newton.iterations"));
+  EXPECT_TRUE(trace::is_scheduling_metric("exec.pool.tasks"));
+  EXPECT_FALSE(trace::is_scheduling_metric("exec.jobs"));
+  EXPECT_TRUE(trace::is_deterministic_metric("spice.newton.iterations"));
+  EXPECT_FALSE(trace::is_deterministic_metric("exec.pool.tasks"));
+  EXPECT_FALSE(trace::is_deterministic_metric("exec.pool.busy_us"));
+}
+
+TEST(TraceRegistry, SnapshotSchemaAndDeterministicSubset) {
+  Registry::global().counter("test.snapshot.events").add(1);
+  Registry::global().counter("test.snapshot.wait_us").add(9);
+  Registry::global().gauge("test.snapshot.gauge").set(2);
+
+  const Json full = Registry::global().snapshot(true);
+  EXPECT_DOUBLE_EQ(full.number_at("schema_version"), 1.0);
+  EXPECT_TRUE(full.get("counters").has("test.snapshot.events"));
+  EXPECT_TRUE(full.get("counters").has("test.snapshot.wait_us"));
+  EXPECT_TRUE(full.get("gauges").has("test.snapshot.gauge"));
+
+  const Json det = Registry::global().snapshot(false);
+  EXPECT_TRUE(det.get("counters").has("test.snapshot.events"));
+  EXPECT_FALSE(det.get("counters").has("test.snapshot.wait_us"));
+  EXPECT_FALSE(det.has("gauges"));
+  // Histogram sum/max (CAS-ordering-sensitive for float sums) are full-only.
+  Registry::global().histogram("test.snapshot.hist").record(3.0);
+  const Json full2 = Registry::global().snapshot(true);
+  const Json det2 = Registry::global().snapshot(false);
+  EXPECT_TRUE(full2.get("histograms").get("test.snapshot.hist").has("sum"));
+  EXPECT_FALSE(det2.get("histograms").get("test.snapshot.hist").has("sum"));
+  EXPECT_TRUE(det2.get("histograms").get("test.snapshot.hist").has("counts"));
+}
+
+TEST(TraceSpan, NestingDepthAndChromeExport) {
+  Tracer& tracer = Tracer::global();
+  tracer.start();
+  EXPECT_EQ(trace::open_span_count(), 0);
+  {
+    trace::SpanScope outer("test.span.outer");
+    EXPECT_EQ(trace::open_span_count(), 1);
+    {
+      trace::SpanScope inner("test.span.inner");
+      EXPECT_EQ(trace::open_span_count(), 2);
+    }
+    EXPECT_EQ(trace::open_span_count(), 1);
+  }
+  EXPECT_EQ(trace::open_span_count(), 0);
+  tracer.stop();
+  EXPECT_EQ(tracer.event_count(), 2u);
+
+  const Json chrome = Json::parse(tracer.chrome_json().dump());
+  EXPECT_EQ(chrome.string_at("displayTimeUnit"), "ms");
+  const Json* outer = find_event(chrome, "test.span.outer");
+  const Json* inner = find_event(chrome, "test.span.inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  for (const Json* e : {outer, inner}) {
+    EXPECT_EQ(e->string_at("ph"), "X");
+    EXPECT_DOUBLE_EQ(e->number_at("pid"), 1.0);
+    EXPECT_GE(e->number_at("dur"), 0.0);
+  }
+  EXPECT_EQ(outer->get("args").number_at("depth"), 0.0);
+  EXPECT_EQ(inner->get("args").number_at("depth"), 1.0);
+  // The parent starts no later and lasts no shorter than the child; the
+  // sort order (ts, then dur descending) puts it first.
+  EXPECT_LE(outer->number_at("ts"), inner->number_at("ts"));
+  EXPECT_GE(outer->number_at("dur"), inner->number_at("dur"));
+}
+
+TEST(TraceSpan, StartClearsPreviousRunAndDisabledRecordsNothing) {
+  Tracer& tracer = Tracer::global();
+  tracer.start();
+  { trace::SpanScope s("test.span.stale"); }
+  tracer.stop();
+  EXPECT_GE(tracer.event_count(), 1u);
+  { trace::SpanScope s("test.span.while_off"); }
+  EXPECT_EQ(trace::open_span_count(), 0);
+
+  tracer.start();
+  EXPECT_EQ(tracer.event_count(), 0u);  // previous run cleared
+  tracer.stop();
+  EXPECT_EQ(find_event(tracer.chrome_json(), "test.span.while_off"), nullptr);
+}
+
+TEST(TraceSpan, ExceptionUnwindClosesSpan) {
+  Tracer& tracer = Tracer::global();
+  tracer.start();
+  try {
+    trace::SpanScope s("test.span.throwing");
+    throw std::runtime_error("boom");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(trace::open_span_count(), 0);
+  tracer.stop();
+  EXPECT_NE(find_event(tracer.chrome_json(), "test.span.throwing"), nullptr);
+}
+
+TEST(TraceSpan, ParallelSpansLandOnPerThreadTracksSorted) {
+  Tracer& tracer = Tracer::global();
+  tracer.start();
+  exec::ExecPolicy policy;
+  policy.threads = 4;
+  exec::parallel_for(policy, 16, [](std::size_t) {
+    trace::SpanScope s("test.span.task");
+  });
+  tracer.stop();
+
+  const Json chrome = Json::parse(tracer.chrome_json().dump());
+  const auto& events = chrome.get("traceEvents").as_array();
+  std::size_t tasks = 0;
+  double last_tid = -1.0, last_ts = 0.0;
+  for (const Json& e : events) {
+    if (e.string_at("name") == std::string("test.span.task")) ++tasks;
+    const double tid = e.number_at("tid");
+    EXPECT_TRUE(tid > last_tid || (tid == last_tid && e.number_at("ts") >= last_ts))
+        << "events must be sorted by (tid, ts)";
+    if (tid != last_tid) last_tid = tid;
+    last_ts = e.number_at("ts");
+  }
+  EXPECT_EQ(tasks, 16u);
+}
+
+TEST(TraceSpan, WriteChromeProducesParseableFile) {
+  Tracer& tracer = Tracer::global();
+  tracer.start();
+  { trace::SpanScope s("test.span.file"); }
+  tracer.stop();
+  const std::string path = "test_trace_chrome_out.json";
+  tracer.write_chrome(path);
+  const Json parsed = verify::read_json_file(path);
+  EXPECT_TRUE(parsed.get("traceEvents").is_array());
+  std::remove(path.c_str());
+}
+
+TEST(TraceProbe, CounterAndHistogramDeltas) {
+  trace::Counter& c = Registry::global().counter("test.probe.counter");
+  trace::Histogram& h = Registry::global().histogram("test.probe.hist");
+  c.add(5);
+  h.record(3.0);
+
+  trace::TestProbe probe;
+  EXPECT_EQ(probe.counter_delta("test.probe.counter"), 0u);
+  EXPECT_EQ(probe.counter_delta("test.probe.never_registered"), 0u);
+  c.add(2);
+  h.record(7.0);
+  h.record(40.0);
+  EXPECT_EQ(probe.counter_delta("test.probe.counter"), 2u);
+  EXPECT_EQ(probe.histogram_delta("test.probe.hist"), 2u);
+  // Pre-baseline records (3.0) never leak into the delta.
+  EXPECT_EQ(probe.histogram_delta_above("test.probe.hist", 2.0), 2u);
+  EXPECT_EQ(probe.histogram_delta_above("test.probe.hist", 16.0), 1u);
+  probe.reset();
+  EXPECT_EQ(probe.counter_delta("test.probe.counter"), 0u);
+
+  // Counters registered after the baseline count from zero.
+  Registry::global().counter("test.probe.late").add(4);
+  EXPECT_EQ(probe.counter_delta("test.probe.late"), 4u);
+}
+
+TEST(TraceProbe, DeltaSnapshotFiltersNondeterministicMetrics) {
+  Registry::global().counter("test.probe.snap.work").add(1);
+  Registry::global().counter("test.probe.snap.wall_us").add(123);
+  trace::TestProbe probe;
+  const Json snap = probe.delta_snapshot();
+  EXPECT_DOUBLE_EQ(snap.number_at("schema_version"), 1.0);
+  // Zero deltas keep the key set stable across otherwise-identical runs.
+  EXPECT_TRUE(snap.get("counters").has("test.probe.snap.work"));
+  EXPECT_FALSE(snap.get("counters").has("test.probe.snap.wall_us"));
+  for (const auto& [name, value] : snap.get("counters").as_object()) {
+    EXPECT_TRUE(trace::is_deterministic_metric(name)) << name;
+  }
+}
+
+#if SFC_TRACE_ENABLED
+TEST(TraceMacros, CountGaugeHistRecordIntoGlobalRegistry) {
+  trace::TestProbe probe;
+  for (int i = 0; i < 3; ++i) SFC_TRACE_COUNT("test.macro.counter", 2);
+  SFC_TRACE_GAUGE_ADD("test.macro.gauge", 7);
+  SFC_TRACE_HIST("test.macro.hist", 5.0);
+  EXPECT_EQ(probe.counter_delta("test.macro.counter"), 6u);
+  EXPECT_EQ(Registry::global().gauge("test.macro.gauge").value(), 7);
+  EXPECT_EQ(probe.histogram_delta("test.macro.hist"), 1u);
+}
+#else
+TEST(TraceMacros, CountGaugeHistRecordIntoGlobalRegistry) {
+  GTEST_SKIP() << "built with SFC_TRACE=OFF; macros compile to no-ops";
+}
+#endif
+
+TEST(TraceMacros, DisabledTuRegistersNothingAndSkipsArgumentEvaluation) {
+  // trace_off_tu.cpp forces SFC_TRACE_ENABLED=0 for its own macros: the
+  // argument expressions (each a ++) must never run...
+  EXPECT_EQ(trace::test_off::run_disabled_instrumentation(), 0);
+  // ...and none of its metric names may reach the registry.
+  for (const auto& name : Registry::global().counter_names()) {
+    EXPECT_NE(name, "test.off_tu.counter");
+  }
+  EXPECT_EQ(Registry::global().find_histogram("test.off_tu.histogram"),
+            nullptr);
+}
+
+/// The cross-thread-count determinism property the subsystem is designed
+/// around: for a deterministic workload (Monte Carlo with counter-based
+/// RNG streams), the deterministic metric deltas are bit-identical no
+/// matter how many threads executed it.
+TEST(TraceDeterminism, DeltaSnapshotBitIdenticalAcrossThreadCounts) {
+  cim::MonteCarloConfig mc;
+  mc.runs = 4;
+  mc.sigma_vt_fefet = 0.054;
+  mc.mac_values = {0, 4, 8};
+  const cim::ArrayConfig cfg = cim::ArrayConfig::proposed_2t1fefet();
+
+  mc.exec = exec::ExecPolicy::serial();
+  trace::TestProbe serial_probe;
+  const cim::MonteCarloResult serial = cim::run_montecarlo(cfg, mc);
+  const std::string serial_snap = canonical(serial_probe.delta_snapshot());
+  const std::uint64_t serial_runs = serial_probe.counter_delta("cim.mc.runs");
+  const std::uint64_t serial_iters =
+      serial_probe.counter_delta("spice.newton.iterations");
+
+  mc.exec.threads = 8;
+  trace::TestProbe parallel_probe;
+  const cim::MonteCarloResult parallel = cim::run_montecarlo(cfg, mc);
+  const std::string parallel_snap = canonical(parallel_probe.delta_snapshot());
+
+  ASSERT_EQ(serial.samples.size(), parallel.samples.size());
+  EXPECT_EQ(serial_snap, parallel_snap);
+#if SFC_TRACE_ENABLED
+  // The snapshot carries real solver work, not just an empty key set.
+  EXPECT_EQ(serial_runs, 4u);
+  EXPECT_GT(serial_iters, 0u);
+  EXPECT_EQ(serial_iters,
+            parallel_probe.counter_delta("spice.newton.iterations"));
+#endif
+}
+
+}  // namespace

@@ -8,6 +8,7 @@
 
 #include "spice/circuit.hpp"
 #include "spice/netlist.hpp"
+#include "trace/trace.hpp"
 #include "verify/fuzz.hpp"
 
 namespace sfc::verify {
@@ -113,6 +114,42 @@ TEST(VerifyFuzz, ForcedFailureProducesMinimizedReproducer) {
   ASSERT_NO_THROW(spice::parse_netlist(deck, circuit)) << deck;
   EXPECT_EQ(circuit.devices().size(), f.minimized.devices.size());
 }
+
+#if SFC_TRACE_ENABLED
+// SpanScope's exception-safety contract, exercised at campaign scale: a
+// fuzz run under an active tracer — including a forced-failure campaign
+// that drives the engine's error and shrink paths — must end with zero
+// open spans on the asserting thread.
+TEST(VerifyFuzz, TracedCampaignLeavesNoSpanOpen) {
+  trace::Tracer& tracer = trace::Tracer::global();
+  tracer.start();
+  trace::TestProbe probe;
+
+  FuzzOptions opt;
+  opt.count = 60;
+  opt.dump_dir = testing::TempDir();
+  const FuzzReport ok = run_fuzz(opt);
+  EXPECT_TRUE(ok.pass()) << ok.summary();
+
+  // Impossible tolerance: every charge-share case fails its invariant,
+  // so shrinking repeatedly re-simulates partial netlists — lots of
+  // engine entries/exits, some through non-converged paths.
+  opt.charge_tol_rel = 0.0;
+  opt.charge_tol_abs = 1e-30;
+  const FuzzReport bad = run_fuzz(opt);
+  EXPECT_FALSE(bad.pass());
+
+  tracer.stop();
+  EXPECT_EQ(trace::open_span_count(), 0)
+      << "an engine error path leaked an open span";
+  EXPECT_GT(tracer.event_count(), 0u);
+  EXPECT_GT(probe.counter_delta("spice.newton.iterations"), 0u);
+}
+#else
+TEST(VerifyFuzz, TracedCampaignLeavesNoSpanOpen) {
+  GTEST_SKIP() << "built with SFC_TRACE=OFF; spans compile to no-ops";
+}
+#endif
 
 TEST(VerifyFuzz, ShrinkerIsIdentityOnPassingNetlist) {
   const FuzzOptions opt;

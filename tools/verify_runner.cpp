@@ -8,9 +8,18 @@
 //   verify_runner fuzz [--count N] [--seed S] [--dump DIR]
 //       Run the property-based netlist fuzz campaign; failing cases are
 //       shrunk and dumped as .cir reproducers.
-//   verify_runner check-bench PATH
+//   verify_runner check-bench PATH [--keys GOLDEN]
 //       Validate a bench/perf_simulator --json output file against the
-//       expected schema (used by scripts/check.sh).
+//       expected schema (used by scripts/check.sh). With --keys, the
+//       per-kernel key set must exactly match the golden list.
+//   verify_runner check-metrics PATH [--golden GOLDEN]
+//       Validate a --metrics snapshot (trace registry dump): schema, and —
+//       with --golden — that the non-timing counter/histogram key sets
+//       exactly match the golden (metric-name stability gate).
+//
+// Every subcommand also accepts --trace OUT.json / --metrics OUT.json:
+// span-trace the run itself (Chrome trace format) and dump the metrics
+// registry at exit — the observability hooks of src/trace.
 //
 // Exit status 0 = everything passed, 1 = a verification failure,
 // 2 = usage / IO error.
@@ -21,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "trace/trace.hpp"
 #include "verify/fuzz.hpp"
 #include "verify/golden.hpp"
 #include "verify/json.hpp"
@@ -35,7 +45,9 @@ int usage() {
                "usage: verify_runner golden [--dir DIR] [--case NAME] [--regen]\n"
                "       verify_runner oracle [--case NAME]\n"
                "       verify_runner fuzz [--count N] [--seed S] [--dump DIR]\n"
-               "       verify_runner check-bench PATH\n");
+               "       verify_runner check-bench PATH [--keys GOLDEN]\n"
+               "       verify_runner check-metrics PATH [--golden GOLDEN]\n"
+               "(any subcommand: --trace OUT.json --metrics OUT.json)\n");
   return 2;
 }
 
@@ -126,6 +138,7 @@ int cmd_fuzz(std::vector<const char*> args) {
 
 /// Schema contract for bench/perf_simulator --json (BENCH_solver.json).
 int cmd_check_bench(std::vector<const char*> args) {
+  const char* keys_flag = flag_value(args, "--keys");
   if (args.size() != 1) return usage();
   Json j;
   try {
@@ -133,6 +146,18 @@ int cmd_check_bench(std::vector<const char*> args) {
   } catch (const std::exception& e) {
     std::fprintf(stderr, "check-bench: %s\n", e.what());
     return 2;
+  }
+  std::vector<std::string> golden_keys;
+  if (keys_flag) {
+    try {
+      const Json g = sfc::verify::read_json_file(keys_flag);
+      for (const Json& k : g.get("kernel_keys").as_array()) {
+        golden_keys.push_back(k.as_string());
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "check-bench: %s: %s\n", keys_flag, e.what());
+      return 2;
+    }
   }
   std::vector<std::string> problems;
   const auto require = [&](bool ok, const std::string& what) {
@@ -167,9 +192,29 @@ int cmd_check_bench(std::vector<const char*> args) {
           require(k.has(key) && k.get(key).is_number(),
                   std::string("kernel missing numeric '") + key + "'");
         }
+        // Solver counters (schema_version >= 3): present and non-negative.
+        for (const char* key : {"newton_iterations", "step_rejections",
+                                "lu_factorizations", "gmin_steps"}) {
+          const bool present = k.has(key) && k.get(key).is_number();
+          require(present, std::string("kernel missing numeric '") + key + "'");
+          if (present) {
+            require(k.get(key).as_number() >= 0.0,
+                    std::string("kernel counter '") + key +
+                        "' must be non-negative");
+          }
+        }
         for (const char* key : {"bit_identical", "converged"}) {
           require(k.has(key) && k.get(key).is_bool(),
                   std::string("kernel missing bool '") + key + "'");
+        }
+        if (!golden_keys.empty() && k.is_object()) {
+          std::vector<std::string> have;
+          for (const auto& [key, value] : k.as_object()) have.push_back(key);
+          if (have != golden_keys) {
+            std::string msg = "kernel key set differs from golden:";
+            for (const auto& key : have) msg += " " + key;
+            problems.push_back(msg);
+          }
         }
       }
     }
@@ -186,20 +231,111 @@ int cmd_check_bench(std::vector<const char*> args) {
   return 0;
 }
 
+/// Deterministic counter/histogram names of a metrics snapshot, sorted
+/// (Json objects are std::map). Timing (`*_us` / `*_ms`) and thread-pool
+/// scheduling metrics vary run to run and are excluded from the stability
+/// contract.
+std::vector<std::string> metric_names(const Json& snapshot,
+                                      const char* section) {
+  std::vector<std::string> names;
+  if (snapshot.has(section) && snapshot.get(section).is_object()) {
+    for (const auto& [name, value] : snapshot.get(section).as_object()) {
+      if (sfc::trace::is_deterministic_metric(name)) names.push_back(name);
+    }
+  }
+  return names;
+}
+
+/// Schema + key-set stability contract for --metrics snapshots.
+int cmd_check_metrics(std::vector<const char*> args) {
+  const char* golden_flag = flag_value(args, "--golden");
+  if (args.size() != 1) return usage();
+  Json j;
+  try {
+    j = sfc::verify::read_json_file(args[0]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "check-metrics: %s\n", e.what());
+    return 2;
+  }
+  std::vector<std::string> problems;
+  if (!j.is_object() || !j.has("schema_version") ||
+      !j.get("schema_version").is_number()) {
+    problems.push_back("root must be an object with numeric 'schema_version'");
+  }
+  if (j.is_object() && j.has("counters") && j.get("counters").is_object()) {
+    for (const auto& [name, value] : j.get("counters").as_object()) {
+      if (!value.is_number() || value.as_number() < 0.0) {
+        problems.push_back("counter '" + name + "' must be non-negative");
+      }
+    }
+  } else {
+    problems.push_back("missing object 'counters'");
+  }
+  if (golden_flag && problems.empty()) {
+    try {
+      const Json g = sfc::verify::read_json_file(golden_flag);
+      for (const char* section : {"counters", "histograms"}) {
+        const auto have = metric_names(j, section);
+        const auto want = g.strings_at(section);
+        if (have != want) {
+          std::string msg = std::string(section) + " key set drifted; have:";
+          for (const auto& n : have) msg += " " + n;
+          problems.push_back(msg);
+        }
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "check-metrics: %s: %s\n", golden_flag, e.what());
+      return 2;
+    }
+  }
+  if (!problems.empty()) {
+    for (const auto& p : problems) {
+      std::fprintf(stderr, "check-metrics: %s: %s\n", args[0], p.c_str());
+    }
+    return 1;
+  }
+  std::printf("check-metrics: %s: %s\n", args[0],
+              golden_flag ? "schema and key set OK" : "schema OK");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   std::vector<const char*> args(argv + 2, argv + argc);
+  const char* trace_flag = flag_value(args, "--trace");
+  const char* metrics_flag = flag_value(args, "--metrics");
+  if (trace_flag) sfc::trace::Tracer::global().start();
+  int rc = 2;
   try {
-    if (cmd == "golden") return cmd_golden(std::move(args));
-    if (cmd == "oracle") return cmd_oracle(std::move(args));
-    if (cmd == "fuzz") return cmd_fuzz(std::move(args));
-    if (cmd == "check-bench") return cmd_check_bench(std::move(args));
+    if (cmd == "golden") {
+      rc = cmd_golden(std::move(args));
+    } else if (cmd == "oracle") {
+      rc = cmd_oracle(std::move(args));
+    } else if (cmd == "fuzz") {
+      rc = cmd_fuzz(std::move(args));
+    } else if (cmd == "check-bench") {
+      rc = cmd_check_bench(std::move(args));
+    } else if (cmd == "check-metrics") {
+      rc = cmd_check_metrics(std::move(args));
+    } else {
+      return usage();
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "verify_runner %s: %s\n", cmd.c_str(), e.what());
     return 2;
   }
-  return usage();
+  try {
+    if (trace_flag) {
+      sfc::trace::Tracer::global().stop();
+      sfc::trace::Tracer::global().write_chrome(trace_flag);
+    }
+    if (metrics_flag) sfc::trace::write_metrics_file(metrics_flag);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "verify_runner: observability output: %s\n", e.what());
+    return 2;
+  }
+  return rc;
 }
