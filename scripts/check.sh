@@ -25,14 +25,23 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 step "verification layer (ctest -L verify)"
 ctest --test-dir "${BUILD_DIR}" -L verify --output-on-failure -j "${JOBS}"
 
-step "static netlist analysis (sfc_lint over examples/*.cir)"
+step "static netlist analysis (sfc_lint over examples/*.cir, text + SARIF)"
+# Every shipped example must be fully clean — including the semantic
+# interval passes (subthreshold-window, vth-temp-drift, cim-array-shape,
+# adc-range): exit 0 means zero findings of any severity. Each deck's
+# SARIF log must also satisfy the pinned schema/key-set contract.
 for deck in examples/*.cir; do
   "${BUILD_DIR}/tools/sfc_lint" "${deck}"
+  "${BUILD_DIR}/tools/sfc_lint" "${deck}" --sarif > "${BUILD_DIR}/lint_example.sarif"
+  "${BUILD_DIR}/tools/verify_runner" check-sarif "${BUILD_DIR}/lint_example.sarif" \
+    --keys tests/goldens/sarif_keys.json
 done
 # The acceptance demos must keep failing: a clean exit here means the
-# linter lost its teeth.
+# linter lost its teeth. The subthreshold-window deck reads with a 1.6 V
+# wordline — statically provable to turn on an erased cell at 85 degC.
 for bad in floating-node:'I1 0 x 1u\nC1 x 0 1p\n.end' \
-           vsource-loop:'V1 a 0 1\nV2 a 0 2\nR1 a 0 1k\n.end'; do
+           vsource-loop:'V1 a 0 1\nV2 a 0 2\nR1 a 0 1k\n.end' \
+           subthreshold-window:'VG g 0 1.6\nVD d 0 0.05\nZ1 d g 0 state=0\n.end'; do
   rule="${bad%%:*}"
   printf '%b\n' "${bad#*:}" > "${BUILD_DIR}/lint_demo.cir"
   # sfc_lint exits 3 here by design; capture instead of piping so pipefail
@@ -91,6 +100,10 @@ cmake -B "${UBSAN_DIR}" -S . -DSFC_SANITIZE=undefined \
 cmake --build "${UBSAN_DIR}" -j "${JOBS}"
 ctest --test-dir "${UBSAN_DIR}" -L "spice|verify|lint|trace" \
   --output-on-failure -j "${JOBS}"
+# The interval-oracle fuzz campaign under UBSan: the outward-rounding
+# interval arithmetic and the fixpoint engine must be UB-free on 200
+# generated decks, with zero solver escapes from the static bounds.
+"${UBSAN_DIR}/tools/verify_runner" fuzz --count 200 --dump "${UBSAN_DIR}"
 
 step "clang-tidy (skipped automatically when the binary is absent)"
 scripts/tidy.sh "${BUILD_DIR}"

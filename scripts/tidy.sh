@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# clang-tidy gate over src/spice and src/lint using the repo-root
+# clang-tidy gate over src/spice, src/lint and tools/ using the repo-root
 # .clang-tidy profile. The container used for tier-1 CI ships gcc only, so
 # the script degrades to a no-op (exit 0 with a notice) when clang-tidy is
 # not on PATH — the gate is advisory where the tool exists, never a hard
@@ -22,7 +22,7 @@ if [ ! -f "${BUILD_DIR}/compile_commands.json" ]; then
   cmake -B "${BUILD_DIR}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 fi
 
-mapfile -t sources < <(ls src/spice/*.cpp src/lint/*.cpp)
+mapfile -t sources < <(ls src/spice/*.cpp src/lint/*.cpp tools/*.cpp)
 echo "tidy.sh: linting ${#sources[@]} translation units"
 clang-tidy -p "${BUILD_DIR}" --quiet "${sources[@]}"
 echo "tidy.sh: clean"

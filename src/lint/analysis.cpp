@@ -1,0 +1,537 @@
+#include "lint/analysis.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "devices/diode.hpp"
+#include "devices/mosfet.hpp"
+#include "fefet/fefet.hpp"
+#include "spice/primitives.hpp"
+
+namespace sfc::lint {
+
+using spice::Device;
+using spice::NodeId;
+
+// --------------------------------------------------------------- incidence
+
+NodeIncidence NodeIncidence::build(const spice::Circuit& circuit) {
+  NodeIncidence inc;
+  inc.touches.resize(circuit.num_nodes());
+  for (const auto& dev : circuit.devices()) {
+    const auto terms = dev->terminals();
+    for (std::size_t k = 0; k < terms.size(); ++k) {
+      if (terms[k] == spice::kGround) continue;
+      inc.touches[static_cast<std::size_t>(terms[k])].push_back(
+          Touch{dev.get(), k});
+    }
+  }
+  return inc;
+}
+
+// -------------------------------------------------------------------- dsu
+
+Dsu::Dsu(std::size_t slots) : parent_(slots) {
+  std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+}
+
+std::size_t Dsu::find(std::size_t i) {
+  while (parent_[i] != i) {
+    parent_[i] = parent_[parent_[i]];
+    i = parent_[i];
+  }
+  return i;
+}
+
+void Dsu::unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+std::size_t node_slot(NodeId n, std::size_t num_nodes) {
+  return n == spice::kGround ? num_nodes : static_cast<std::size_t>(n);
+}
+
+// ------------------------------------------------------- conduction graph
+
+std::vector<std::pair<NodeId, NodeId>> conduction_edges(const Device& dev,
+                                                        bool caps_conduct) {
+  const auto t = dev.terminals();
+  using Pair = std::pair<NodeId, NodeId>;
+  if (dynamic_cast<const spice::Resistor*>(&dev) ||
+      dynamic_cast<const spice::Inductor*>(&dev) ||
+      dynamic_cast<const spice::VSource*>(&dev)) {
+    return {Pair{t[0], t[1]}};
+  }
+  if (dynamic_cast<const spice::Capacitor*>(&dev)) {
+    if (caps_conduct) return {Pair{t[0], t[1]}};
+    return {};
+  }
+  if (dynamic_cast<const spice::ISource*>(&dev)) return {};
+  if (dynamic_cast<const spice::Vccs*>(&dev)) return {};
+  if (dynamic_cast<const spice::Vcvs*>(&dev)) {
+    return {Pair{t[0], t[1]}};  // output branch is voltage-defined
+  }
+  if (dynamic_cast<const spice::VSwitch*>(&dev)) {
+    return {Pair{t[0], t[1]}};  // finite r_off: always a resistive path
+  }
+  if (dynamic_cast<const devices::Diode*>(&dev)) {
+    return {Pair{t[0], t[1]}};
+  }
+  if (dynamic_cast<const devices::Mosfet*>(&dev)) {
+    // Drain-source channel conducts; the gate is an open circuit (a
+    // floating gate is exactly what the reachability rule must catch).
+    return {Pair{t[0], t[2]}};
+  }
+  // Unknown device type: assume every terminal pair conducts. Being
+  // permissive here keeps the rule free of false positives on devices the
+  // analyzer has never heard of.
+  std::vector<Pair> all;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) all.emplace_back(t[i], t[i + 1]);
+  return all;
+}
+
+bool is_voltage_defined(const Device& dev) {
+  return dynamic_cast<const spice::VSource*>(&dev) != nullptr ||
+         dynamic_cast<const spice::Vcvs*>(&dev) != nullptr ||
+         dynamic_cast<const spice::Inductor*>(&dev) != nullptr;
+}
+
+std::pair<NodeId, NodeId> voltage_branch(const Device& dev) {
+  const auto t = dev.terminals();
+  return {t[0], t[1]};
+}
+
+ConductionComponents ConductionComponents::build(const spice::Circuit& circuit,
+                                                 bool caps_conduct) {
+  ConductionComponents out;
+  out.num_nodes = circuit.num_nodes();
+  out.caps_conduct = caps_conduct;
+  Dsu dsu(out.num_nodes + 1);
+  for (const auto& dev : circuit.devices()) {
+    for (const auto& [a, b] : conduction_edges(*dev, caps_conduct)) {
+      dsu.unite(node_slot(a, out.num_nodes), node_slot(b, out.num_nodes));
+    }
+  }
+  out.root.resize(out.num_nodes + 1);
+  for (std::size_t i = 0; i <= out.num_nodes; ++i) out.root[i] = dsu.find(i);
+  return out;
+}
+
+// ------------------------------------------------------------ dc topology
+
+DcTopology DcTopology::build(const spice::Circuit& circuit,
+                             const spice::NetlistDeck* deck) {
+  DcTopology topo;
+  const std::size_t n = circuit.num_nodes();
+  topo.edges.resize(n);
+
+  const auto add_edge = [&](const Device* dev, NodeId a, NodeId b,
+                            const Interval& g, bool has_g,
+                            bool is_capacitor) {
+    Edge e;
+    e.device = dev;
+    e.g = g;
+    e.has_g = has_g;
+    e.is_capacitor = is_capacitor;
+    if (a != spice::kGround) {
+      e.other = b;
+      topo.edges[static_cast<std::size_t>(a)].push_back(e);
+    }
+    if (b != spice::kGround) {
+      e.other = a;
+      topo.edges[static_cast<std::size_t>(b)].push_back(e);
+    }
+  };
+  const auto taint_dc = [&](NodeId a) { topo.dc_taint_seeds.push_back(a); };
+  const auto taint_tran = [&](NodeId a) {
+    topo.tran_taint_seeds.push_back(a);
+  };
+
+  // Hull of every .dc sweep targeting this source (the operating point is
+  // recomputed at each sweep value, so the static bound must cover all).
+  const auto sweep_hull = [&](const Device* dev) {
+    Interval sweep = Interval::empty();
+    if (!deck) return sweep;
+    for (const spice::DcSweepDirective& dc : deck->dc) {
+      if (circuit.find(dc.source) != dev) continue;
+      sweep |= Interval(std::min(dc.start, dc.stop),
+                        std::max(dc.start, dc.stop));
+    }
+    return sweep;
+  };
+
+  for (const auto& dev : circuit.devices()) {
+    const auto t = dev->terminals();
+    if (const auto* r = dynamic_cast<const spice::Resistor*>(dev.get())) {
+      if (r->resistance() <= 0.0) {
+        // Negative resistance is active (sign(i) != sign(dv)); the maximum
+        // principle no longer holds anywhere current from it can reach.
+        taint_dc(t[0]);
+        taint_dc(t[1]);
+      } else {
+        add_edge(dev.get(), t[0], t[1],
+                 Interval(1.0) / Interval(r->resistance()), true, false);
+      }
+    } else if (const auto* c =
+                   dynamic_cast<const spice::Capacitor*>(dev.get())) {
+      const bool a_gnd = t[0] == spice::kGround;
+      const bool b_gnd = t[1] == spice::kGround;
+      if (c->capacitance() <= 0.0 || (!a_gnd && !b_gnd)) {
+        // A floating capacitor couples two node histories; the transient
+        // envelope cannot anchor either side. DC is unaffected (open).
+        taint_tran(t[0]);
+        taint_tran(t[1]);
+      } else if (!(a_gnd && b_gnd)) {
+        add_edge(dev.get(), t[0], t[1], Interval(), false, true);
+      }
+    } else if (dynamic_cast<const spice::Inductor*>(dev.get()) != nullptr) {
+      // DC short (a pin below); in a transient its current is state and
+      // can drive nodes outside any static hull.
+      Pin pin;
+      pin.kind = Pin::Kind::kInductor;
+      pin.device = dev.get();
+      pin.a = t[0];
+      pin.b = t[1];
+      topo.pins.push_back(pin);
+      taint_tran(t[0]);
+      taint_tran(t[1]);
+    } else if (const auto* v =
+                   dynamic_cast<const spice::VSource*>(dev.get())) {
+      Pin pin;
+      pin.kind = Pin::Kind::kVSource;
+      pin.device = dev.get();
+      pin.a = t[0];
+      pin.b = t[1];
+      pin.dc_value = Interval(v->waveform().initial());
+      const auto [wlo, whi] = v->waveform().range();
+      pin.envelope_value = Interval(wlo, whi);
+      const Interval sweep = sweep_hull(dev.get());
+      pin.dc_value |= sweep;
+      pin.envelope_value |= sweep;
+      topo.pins.push_back(pin);
+    } else if (dynamic_cast<const spice::ISource*>(dev.get()) != nullptr) {
+      // Injected current turns into unbounded voltage through unknown
+      // impedance; everything conductively reachable is off-limits.
+      taint_dc(t[0]);
+      taint_dc(t[1]);
+    } else if (const auto* s =
+                   dynamic_cast<const spice::VSwitch*>(dev.get())) {
+      const auto& p = s->params();
+      if (p.r_on <= 0.0 || p.r_off <= 0.0) {
+        taint_dc(t[0]);
+        taint_dc(t[1]);
+      } else {
+        const Interval g = Interval::hull(Interval(1.0) / Interval(p.r_on),
+                                          Interval(1.0) / Interval(p.r_off));
+        add_edge(dev.get(), t[0], t[1], g, true, false);
+      }
+    } else if (dynamic_cast<const spice::Vccs*>(dev.get()) != nullptr) {
+      taint_dc(t[0]);
+      taint_dc(t[1]);
+    } else if (const auto* e = dynamic_cast<const spice::Vcvs*>(dev.get())) {
+      Pin pin;
+      pin.kind = Pin::Kind::kVcvs;
+      pin.device = dev.get();
+      pin.a = t[0];
+      pin.b = t[1];
+      pin.ctrl_p = t[2];
+      pin.ctrl_n = t[3];
+      pin.gain = e->gain();
+      topo.pins.push_back(pin);
+    } else if (dynamic_cast<const devices::Diode*>(dev.get()) != nullptr) {
+      add_edge(dev.get(), t[0], t[1], Interval(), false, false);
+    } else if (const auto* m =
+                   dynamic_cast<const devices::Mosfet*>(dev.get())) {
+      if (m->params().w <= 0.0 || m->params().l <= 0.0) {
+        taint_dc(t[0]);
+        taint_dc(t[2]);
+      } else {
+        add_edge(dev.get(), t[0], t[2], Interval(), false, false);
+      }
+    } else {
+      // Unknown device: no passivity assumption is safe.
+      for (NodeId a : t) taint_dc(a);
+    }
+  }
+  return topo;
+}
+
+// --------------------------------------------------------- interval engine
+
+namespace {
+
+struct EngineResult {
+  std::vector<Interval> vals;
+  std::vector<char> tainted;
+  bool contradiction = false;
+};
+
+/// One fixpoint run of the abstract interpreter. `envelope` selects the
+/// transient mode: VSource pins use their whole-waveform range, inductor
+/// pins deactivate (their terminals are tainted instead), and grounded
+/// capacitors anchor their node to the initial condition (`dc_vals` when
+/// no explicit ic was given).
+EngineResult run_engine(const spice::Circuit& circuit, const DcTopology& topo,
+                        const ConductionComponents& comps,
+                        const IntervalOptions& opt, bool envelope,
+                        const std::vector<Interval>* dc_vals) {
+  const std::size_t n = circuit.num_nodes();
+  EngineResult out;
+  out.vals.assign(n, Interval::universe());
+  out.tainted.assign(n, 0);
+
+  // Islands: conduction connectivity EXCLUDING ground. Ground is the
+  // Dirichlet boundary of the maximum principle — its potential is fixed,
+  // so current injected on one side cannot disturb nodes whose only
+  // connection is through it. Taint floods per island (voltage-defined
+  // branches conduct the disturbance, hence conduction_edges, not just
+  // the resistive topo.edges), and the hull pass below runs per island.
+  Dsu islands(n);
+  for (const auto& dev : circuit.devices()) {
+    for (const auto& [a, b] : conduction_edges(*dev, comps.caps_conduct)) {
+      if (a == spice::kGround || b == spice::kGround) continue;
+      islands.unite(static_cast<std::size_t>(a), static_cast<std::size_t>(b));
+    }
+  }
+  std::vector<std::size_t> island_root(n);
+  for (std::size_t i = 0; i < n; ++i) island_root[i] = islands.find(i);
+
+  // Taint: a seed poisons its whole island — current it injects can raise
+  // any node conductively reachable without crossing ground. A seed AT
+  // ground is absorbed by the reference and poisons nothing.
+  std::unordered_set<std::size_t> bad_roots;
+  const auto seed = [&](NodeId s) {
+    if (s == spice::kGround) return;
+    bad_roots.insert(island_root[static_cast<std::size_t>(s)]);
+  };
+  for (NodeId s : topo.dc_taint_seeds) seed(s);
+  if (envelope) {
+    for (NodeId s : topo.tran_taint_seeds) seed(s);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (bad_roots.count(island_root[i]) != 0) out.tainted[i] = 1;
+  }
+
+  // Pinned nodes: terminals of active voltage-defined branches. They are
+  // boundary nodes of the maximum principle — never relaxed from
+  // neighbors, only narrowed by pin equations and the component hull.
+  std::vector<char> pinned(n, 0);
+  for (const DcTopology::Pin& pin : topo.pins) {
+    if (envelope && pin.kind == DcTopology::Pin::Kind::kInductor) continue;
+    if (pin.a != spice::kGround) pinned[static_cast<std::size_t>(pin.a)] = 1;
+    if (pin.b != spice::kGround) pinned[static_cast<std::size_t>(pin.b)] = 1;
+  }
+
+  // Transient state anchors: a grounded capacitor starts at its explicit
+  // ic (or the DC operating point) and from there can only move toward
+  // what its neighbors and gmin allow.
+  std::vector<char> is_state(n, 0);
+  std::vector<Interval> anchor(n, Interval::empty());
+  if (envelope) {
+    for (const auto& dev : circuit.devices()) {
+      const auto* c = dynamic_cast<const spice::Capacitor*>(dev.get());
+      if (!c || c->capacitance() <= 0.0) continue;
+      const auto t = dev->terminals();
+      const bool a_gnd = t[0] == spice::kGround;
+      const bool b_gnd = t[1] == spice::kGround;
+      if (a_gnd == b_gnd) continue;  // floating (tainted) or ground-ground
+      const NodeId node = a_gnd ? t[1] : t[0];
+      const double sign = a_gnd ? -1.0 : 1.0;
+      const std::size_t idx = static_cast<std::size_t>(node);
+      Interval av;
+      if (c->has_initial_condition()) {
+        av = Interval(sign * c->initial_condition());
+      } else if (dc_vals) {
+        av = (*dc_vals)[idx];
+      }
+      is_state[idx] = 1;
+      anchor[idx] |= av;  // several caps on one node: cover all anchors
+    }
+  }
+
+  const auto val_of = [&](NodeId x) -> Interval {
+    return x == spice::kGround ? Interval(0.0)
+                               : out.vals[static_cast<std::size_t>(x)];
+  };
+
+  bool changed = false;
+  const auto narrow = [&](NodeId x, const Interval& bound) {
+    if (x == spice::kGround) return;
+    const std::size_t idx = static_cast<std::size_t>(x);
+    const Interval nv = Interval::intersect(out.vals[idx], bound);
+    if (nv != out.vals[idx]) {
+      out.vals[idx] = nv;
+      changed = true;
+    }
+    if (nv.is_empty()) out.contradiction = true;
+  };
+
+  // Nodes grouped by island for the hull pass.
+  std::unordered_map<std::size_t, std::vector<std::size_t>> members;
+  for (std::size_t i = 0; i < n; ++i) members[island_root[i]].push_back(i);
+
+  for (int sweep = 0; sweep < opt.max_sweeps; ++sweep) {
+    changed = false;
+
+    // (a) Pin equations v(a) - v(b) = value, narrowed both ways. These
+    // are hard facts, so they apply to tainted components too.
+    for (const DcTopology::Pin& pin : topo.pins) {
+      Interval value;
+      switch (pin.kind) {
+        case DcTopology::Pin::Kind::kVSource:
+          value = envelope ? pin.envelope_value : pin.dc_value;
+          break;
+        case DcTopology::Pin::Kind::kInductor:
+          if (envelope) continue;
+          value = Interval(0.0);
+          break;
+        case DcTopology::Pin::Kind::kVcvs:
+          value = Interval(pin.gain) *
+                  (val_of(pin.ctrl_p) - val_of(pin.ctrl_n));
+          break;
+      }
+      narrow(pin.a, val_of(pin.b) + value);
+      narrow(pin.b, val_of(pin.a) - value);
+    }
+
+    // (b) Discrete maximum principle, component granularity: with only
+    // passive branches inside and gmin tying every node toward ground,
+    // each node of a component lies in the hull of {0}, the pinned
+    // (boundary) node values, and any transient state anchors.
+    for (const auto& [root, nodes] : members) {
+      if (bad_roots.count(root) != 0) continue;
+      Interval h(0.0);
+      for (std::size_t i : nodes) {
+        if (pinned[i]) h |= out.vals[i];
+        if (is_state[i]) h |= anchor[i];
+      }
+      for (std::size_t i : nodes) narrow(static_cast<NodeId>(i), h);
+    }
+
+    // (c) Per-node refinement for interior (non-pinned) nodes.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (out.tainted[i] || pinned[i]) continue;
+      const NodeId node = static_cast<NodeId>(i);
+
+      Interval neighbor_hull(0.0);  // gmin pulls toward ground
+      Interval num(0.0);
+      Interval den(0.0);
+      bool all_conductance = true;
+      bool any_edge = false;
+      for (const DcTopology::Edge& e : topo.edges[i]) {
+        if (e.is_capacitor) continue;  // handled via state anchors
+        any_edge = true;
+        const Interval ov = val_of(e.other);
+        neighbor_hull |= ov;
+        if (e.has_g) {
+          num = num + e.g * ov;
+          den = den + e.g;
+        } else {
+          all_conductance = false;
+        }
+      }
+
+      if (envelope && is_state[i]) {
+        // Parabolic maximum principle: the node starts at its anchor and
+        // its derivative always points into the instantaneous
+        // neighbor/ground hull, so it can never leave the union.
+        narrow(node, Interval::hull(anchor[i], neighbor_hull));
+        continue;
+      }
+      if (!any_edge) {
+        // Only the gmin leak loads this node: v = 0 exactly at any
+        // converged solve (the engine stamps gmin > 0 on every node).
+        narrow(node, Interval(0.0));
+        continue;
+      }
+      Interval bound = neighbor_hull;
+      if (all_conductance) {
+        // Thevenin / weighted-average refinement: KCL at a purely
+        // conductive node gives v = sum(g v) / (sum(g) + gmin); interval
+        // evaluation contains the true value for any g in its bounds.
+        den = den + Interval(0.0, opt.gmin_max);
+        bound &= num / den;
+      }
+      narrow(node, bound);
+    }
+
+    if (!changed) break;
+  }
+
+  // Tainted nodes report the universe regardless of what pin narrowing
+  // achieved locally — except pins anchored purely to ground, which stay
+  // valid. Keeping the narrowed value is sound: pins are hard facts.
+  return out;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- manager
+
+AnalysisManager::AnalysisManager(const spice::Circuit& circuit,
+                                 const spice::NetlistDeck* deck,
+                                 IntervalOptions options)
+    : circuit_(circuit), deck_(deck), options_(options) {}
+
+const NodeIncidence& AnalysisManager::incidence() {
+  if (!incidence_) {
+    incidence_ = std::make_unique<NodeIncidence>(NodeIncidence::build(circuit_));
+  }
+  return *incidence_;
+}
+
+const ConductionComponents& AnalysisManager::components(bool caps_conduct) {
+  auto& slot = components_[caps_conduct ? 1 : 0];
+  if (!slot) {
+    slot = std::make_unique<ConductionComponents>(
+        ConductionComponents::build(circuit_, caps_conduct));
+  }
+  return *slot;
+}
+
+const DcTopology& AnalysisManager::topology() {
+  if (!topology_) {
+    topology_ =
+        std::make_unique<DcTopology>(DcTopology::build(circuit_, deck_));
+  }
+  return *topology_;
+}
+
+const OperatingIntervals& AnalysisManager::intervals() {
+  if (intervals_) return *intervals_;
+  auto out = std::make_unique<OperatingIntervals>();
+  out->has_tran = !deck_ || !deck_->tran.empty();
+  if (deck_ && deck_->has_temperature) {
+    out->temp_lo = out->temp_hi = deck_->temperature_c;
+  }
+
+  const DcTopology& topo = topology();
+  EngineResult dc =
+      run_engine(circuit_, topo, components(false), options_, false, nullptr);
+  out->dc = std::move(dc.vals);
+  out->dc_tainted = std::move(dc.tainted);
+  out->dc_contradiction = dc.contradiction;
+
+  if (out->has_tran) {
+    EngineResult env = run_engine(circuit_, topo, components(true), options_,
+                                  true, &out->dc);
+    out->envelope = std::move(env.vals);
+    out->envelope_tainted = std::move(env.tainted);
+    out->envelope_contradiction = env.contradiction;
+  } else {
+    out->envelope = out->dc;
+    out->envelope_tainted = out->dc_tainted;
+    out->envelope_contradiction = out->dc_contradiction;
+  }
+  intervals_ = std::move(out);
+  return *intervals_;
+}
+
+OperatingIntervals compute_operating_intervals(const spice::Circuit& circuit,
+                                               const spice::NetlistDeck* deck,
+                                               const IntervalOptions& options) {
+  AnalysisManager manager(circuit, deck, options);
+  return manager.intervals();
+}
+
+}  // namespace sfc::lint

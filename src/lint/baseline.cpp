@@ -1,0 +1,135 @@
+#include "lint/baseline.hpp"
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+
+namespace sfc::lint {
+namespace {
+
+/// What the fingerprint sees of the anchor object. Deliberately excludes
+/// source lines and (via digit stripping) numeric values, so editing
+/// unrelated lines or nudging a value keeps the identity stable; changing
+/// the wiring does not.
+std::string structure_of(const Diagnostic& d, const spice::Circuit* circuit) {
+  if (circuit) {
+    if (const spice::Device* dev = circuit->find(d.object)) {
+      std::string s = "dev";
+      for (spice::NodeId t : dev->terminals()) {
+        s += '/';
+        s += circuit->node_name(t);
+      }
+      return s;
+    }
+    if (const auto node = circuit->find_node(d.object)) {
+      std::string s = "node";
+      for (const auto& dev : circuit->devices()) {
+        const auto terms = dev->terminals();
+        for (std::size_t k = 0; k < terms.size(); ++k) {
+          if (terms[k] != *node) continue;
+          s += '/';
+          s += dev->name();
+          s += ':';
+          s += std::to_string(k);
+        }
+      }
+      return s;
+    }
+  }
+  std::string s = "msg/";
+  for (char c : d.message) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) s += c;
+  }
+  return s;
+}
+
+void fnv1a(std::uint64_t& h, const std::string& s) {
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  h ^= 0xff;  // field separator, so ("ab","c") != ("a","bc")
+  h *= 1099511628211ull;
+}
+
+}  // namespace
+
+std::string compute_fingerprint(const Diagnostic& d,
+                                const spice::Circuit* circuit) {
+  std::uint64_t h = 14695981039346656037ull;
+  fnv1a(h, d.rule);
+  fnv1a(h, d.object);
+  fnv1a(h, structure_of(d, circuit));
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+Baseline Baseline::from_report(const LintReport& report) {
+  Baseline b;
+  for (const Diagnostic& d : report.diagnostics()) {
+    if (d.fingerprint.empty()) continue;
+    b.add(BaselineEntry{d.fingerprint, d.rule, d.object});
+  }
+  return b;
+}
+
+Baseline Baseline::from_json(const verify::Json& json) {
+  if (json.number_at("schema_version") != 1.0) {
+    throw std::runtime_error("lint: unsupported baseline schema_version");
+  }
+  if (json.string_at("tool") != "sfc_lint") {
+    throw std::runtime_error("lint: baseline written by a different tool");
+  }
+  Baseline b;
+  for (const verify::Json& item : json.get("findings").as_array()) {
+    BaselineEntry e;
+    e.fingerprint = item.string_at("fingerprint");
+    e.rule = item.string_at("rule");
+    e.object = item.string_at("object");
+    b.add(std::move(e));
+  }
+  return b;
+}
+
+Baseline Baseline::load(const std::string& path) {
+  return from_json(verify::read_json_file(path));
+}
+
+verify::Json Baseline::to_json() const {
+  verify::JsonArray findings;
+  findings.reserve(entries_.size());
+  for (const BaselineEntry& e : entries_) {
+    verify::Json item = verify::Json::object();
+    item.set("fingerprint", e.fingerprint);
+    item.set("rule", e.rule);
+    item.set("object", e.object);
+    findings.push_back(std::move(item));
+  }
+  verify::Json out = verify::Json::object();
+  out.set("schema_version", 1);
+  out.set("tool", "sfc_lint");
+  out.set("findings", verify::Json(std::move(findings)));
+  return out;
+}
+
+void Baseline::add(BaselineEntry entry) {
+  if (index_.insert(entry.fingerprint).second) {
+    entries_.push_back(std::move(entry));
+  }
+}
+
+std::size_t apply_baseline(LintReport& report, const Baseline& baseline) {
+  std::size_t n = 0;
+  for (Diagnostic& d : report.mutable_diagnostics()) {
+    if (d.suppressed || d.fingerprint.empty()) continue;
+    if (!baseline.contains(d.fingerprint)) continue;
+    d.suppressed = true;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace sfc::lint

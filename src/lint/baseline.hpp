@@ -1,0 +1,63 @@
+// Baseline suppression for lint findings (CI ratcheting): a baseline file
+// records the structural fingerprints of known findings; a later run with
+// `--baseline` marks matching findings as suppressed so only *new*
+// findings gate the build.
+//
+// The fingerprint hashes the rule id, the anchor object, and the object's
+// *structure* (a device's terminal node names, a node's touching devices)
+// instead of source positions — inserting a comment above a finding does
+// not resurrect it, but rewiring the offending device does.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "lint/diagnostics.hpp"
+#include "spice/circuit.hpp"
+#include "verify/json.hpp"
+
+namespace sfc::lint {
+
+/// Structural fingerprint of a finding: 16 lowercase hex chars (FNV-1a
+/// over rule + object + structure). `circuit` may be nullptr (parse
+/// failures); the structure then falls back to the digit-stripped message.
+std::string compute_fingerprint(const Diagnostic& d,
+                                const spice::Circuit* circuit);
+
+struct BaselineEntry {
+  std::string fingerprint;
+  std::string rule;    ///< informational, for humans reading the file
+  std::string object;  ///< informational
+};
+
+class Baseline {
+ public:
+  /// Baseline covering every finding of the report (fingerprints must
+  /// already be stamped).
+  static Baseline from_report(const LintReport& report);
+
+  /// Parse a baseline file ({schema_version, tool, findings[]}); throws
+  /// std::runtime_error on schema mismatch.
+  static Baseline from_json(const verify::Json& json);
+  static Baseline load(const std::string& path);
+
+  verify::Json to_json() const;
+
+  void add(BaselineEntry entry);
+  bool contains(const std::string& fingerprint) const {
+    return index_.count(fingerprint) != 0;
+  }
+  const std::vector<BaselineEntry>& entries() const { return entries_; }
+
+ private:
+  std::vector<BaselineEntry> entries_;
+  std::unordered_set<std::string> index_;
+};
+
+/// Mark every finding whose fingerprint the baseline knows as suppressed.
+/// Returns the number of findings suppressed by this call.
+std::size_t apply_baseline(LintReport& report, const Baseline& baseline);
+
+}  // namespace sfc::lint

@@ -1,0 +1,87 @@
+// Interval abstract domain for the semantic lint passes.
+//
+// An Interval is a closed set [lo, hi] of possible voltages (or any other
+// real quantity). All arithmetic rounds *outward* — each finite result
+// endpoint is nudged one ulp away from the interval — so a chain of
+// operations can never understate the true range. That is the soundness
+// contract the operating-point analysis (analysis.hpp) and the fuzz
+// differential oracle (src/verify/fuzz.cpp, invariant "interval_escape")
+// rely on: if the abstract interpreter says a node is in [lo, hi], the
+// solver's converged value must be inside it.
+//
+// Two distinguished values:
+//   * empty    — no possible value (lo > hi, canonically [+inf, -inf]);
+//                produced by contradictory intersections and absorbed by
+//                every arithmetic op;
+//   * universe — [-inf, +inf], "nothing is known"; the sound default.
+#pragma once
+
+#include <string>
+
+namespace sfc::lint {
+
+class Interval {
+ public:
+  /// Default: the universe (nothing known). The analysis starts every
+  /// node there and only ever narrows.
+  Interval();
+  /// Singleton [v, v] (exact, no outward rounding — construction states a
+  /// fact, arithmetic accounts for roundoff).
+  explicit Interval(double v);
+  /// [lo, hi]; lo > hi collapses to the canonical empty interval, NaN
+  /// endpoints collapse to the universe (sound: NaN means "lost track").
+  Interval(double lo, double hi);
+
+  static Interval empty();
+  static Interval universe();
+  static Interval hull(const Interval& a, const Interval& b);
+  static Interval intersect(const Interval& a, const Interval& b);
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+  bool is_empty() const { return lo_ > hi_; }
+  bool is_universe() const;
+  /// Both endpoints finite (and not empty).
+  bool is_bounded() const;
+  bool is_singleton() const { return lo_ == hi_; }
+
+  bool contains(double v) const { return lo_ <= v && v <= hi_; }
+  /// Superset test; the empty interval is contained in everything.
+  bool contains(const Interval& other) const;
+
+  double width() const;
+
+  /// [lo - eps, hi + eps] (eps >= 0); used to absorb solver tolerance when
+  /// comparing a converged operating point against a static bound.
+  Interval widened(double eps) const;
+
+  /// Set ops (exact, no rounding: endpoints are copied, not computed).
+  Interval& operator|=(const Interval& other);  ///< hull
+  Interval& operator&=(const Interval& other);  ///< intersection
+
+  /// Outward-rounded arithmetic. Division by an interval containing zero
+  /// (or by empty-adjacent garbage) returns the universe; any op with an
+  /// empty operand returns empty.
+  friend Interval operator+(const Interval& a, const Interval& b);
+  friend Interval operator-(const Interval& a, const Interval& b);
+  friend Interval operator-(const Interval& a);
+  friend Interval operator*(const Interval& a, const Interval& b);
+  friend Interval operator/(const Interval& a, const Interval& b);
+
+  bool operator==(const Interval& other) const {
+    return (is_empty() && other.is_empty()) ||
+           (lo_ == other.lo_ && hi_ == other.hi_);
+  }
+  bool operator!=(const Interval& other) const { return !(*this == other); }
+
+  /// "[lo, hi]" with %.6g endpoints; "(empty)" / "(unbounded)" for the
+  /// distinguished values. For diagnostics, not for round-tripping.
+  std::string str() const;
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+}  // namespace sfc::lint

@@ -4,16 +4,27 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "lint/baseline.hpp"
+
 namespace sfc::lint {
 
-Linter::Linter() : enabled_(builtin_rules().size(), true) {}
+Linter::Linter(LintOptions options)
+    : enabled_(builtin_rules().size(), true), options_(options) {
+  validate_rule_table(builtin_rules());
+}
 
 std::size_t Linter::index_of(const std::string& rule_id) const {
   const auto& rules = builtin_rules();
   for (std::size_t i = 0; i < rules.size(); ++i) {
     if (rule_id == rules[i].id) return i;
   }
-  throw std::runtime_error("lint: unknown rule '" + rule_id + "'");
+  std::string valid;
+  for (const Rule& r : rules) {
+    if (!valid.empty()) valid += ", ";
+    valid += r.id;
+  }
+  throw std::runtime_error("lint: unknown rule '" + rule_id +
+                           "' (valid rules: " + valid + ")");
 }
 
 void Linter::disable(const std::string& rule_id) {
@@ -26,13 +37,17 @@ void Linter::enable(const std::string& rule_id) {
 
 LintReport Linter::run(const spice::Circuit& circuit,
                        const spice::NetlistDeck* deck) const {
-  LintContext ctx{circuit, deck, NodeIncidence::build(circuit)};
+  AnalysisManager analyses(circuit, deck);
+  LintContext ctx{circuit, deck, analyses, options_};
   LintReport report;
   const auto& rules = builtin_rules();
   for (std::size_t i = 0; i < rules.size(); ++i) {
     if (enabled_[i]) rules[i].run(ctx, report);
   }
   report.sort();
+  for (Diagnostic& d : report.mutable_diagnostics()) {
+    d.fingerprint = compute_fingerprint(d, &circuit);
+  }
   return report;
 }
 
@@ -48,6 +63,7 @@ LintResult lint_source(const std::string& text, const Linter& linter) {
     d.severity = Severity::kError;
     d.line = e.line();
     d.message = e.what();
+    d.fingerprint = compute_fingerprint(d, nullptr);
     result.report.add(std::move(d));
     return result;
   } catch (const std::exception& e) {
@@ -55,6 +71,7 @@ LintResult lint_source(const std::string& text, const Linter& linter) {
     d.rule = "parse-error";
     d.severity = Severity::kError;
     d.message = e.what();
+    d.fingerprint = compute_fingerprint(d, nullptr);
     result.report.add(std::move(d));
     return result;
   }

@@ -1,6 +1,6 @@
 // Pass-pipeline driver for the netlist static analyzer, plus the
 // parse-and-lint entry points used by the sfc_lint CLI, the test suite and
-// the fuzz cross-check. See DESIGN.md §10 for the architecture and the
+// the fuzz cross-check. See DESIGN.md §10/§12 for the architecture and the
 // full rule table.
 #pragma once
 
@@ -13,23 +13,30 @@ namespace sfc::lint {
 
 class Linter {
  public:
-  /// All builtin rules enabled.
-  Linter();
+  /// All builtin rules enabled, default semantic thresholds. Validates
+  /// the rule table (throws std::invalid_argument on duplicate ids).
+  explicit Linter(LintOptions options = {});
 
-  /// Toggle a circuit rule by id; unknown ids throw std::runtime_error.
+  /// Toggle a circuit rule by id; unknown ids throw std::runtime_error
+  /// naming the valid rule set.
   void disable(const std::string& rule_id);
   void enable(const std::string& rule_id);
 
+  const LintOptions& options() const { return options_; }
+
   /// Run the enabled pipeline over a finalized-or-not circuit. `deck`
   /// unlocks the directive rules (tran-step, temp-range, unused-model,
-  /// dc-sweep-source) and tells the reachability rule whether capacitors
-  /// conduct. Never solves, never mutates the circuit.
+  /// dc-sweep-source), tells the reachability rule whether capacitors
+  /// conduct, and scopes the interval analysis temperature range. Never
+  /// solves, never mutates the circuit. Findings come back sorted and
+  /// fingerprinted (baseline.hpp).
   LintReport run(const spice::Circuit& circuit,
                  const spice::NetlistDeck* deck = nullptr) const;
 
  private:
   std::size_t index_of(const std::string& rule_id) const;
   std::vector<bool> enabled_;
+  LintOptions options_;
 };
 
 /// Parse + lint outcome. Parse failures are reported as diagnostics (rule
@@ -42,9 +49,9 @@ struct LintResult {
   bool parsed = false;  ///< false when parsing aborted (deck is partial)
 };
 
-LintResult lint_source(const std::string& text, const Linter& linter = {});
+LintResult lint_source(const std::string& text, const Linter& linter = Linter{});
 
 /// Read `path` and lint it. Throws std::runtime_error on I/O failure only.
-LintResult lint_file(const std::string& path, const Linter& linter = {});
+LintResult lint_file(const std::string& path, const Linter& linter = Linter{});
 
 }  // namespace sfc::lint

@@ -1,8 +1,9 @@
 #include "lint/rules.hpp"
 
 #include <cstdio>
-#include <numeric>
+#include <stdexcept>
 #include <string>
+#include <unordered_set>
 
 #include "devices/diode.hpp"
 #include "devices/mosfet.hpp"
@@ -21,85 +22,6 @@ std::string fmt(double v) {
   return buf;
 }
 
-// ------------------------------------------------------------------ utils
-
-/// Union-find over node ids 0..n-1 plus ground at slot n.
-class Dsu {
- public:
-  explicit Dsu(std::size_t slots) : parent_(slots) {
-    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
-  }
-  std::size_t find(std::size_t i) {
-    while (parent_[i] != i) {
-      parent_[i] = parent_[parent_[i]];
-      i = parent_[i];
-    }
-    return i;
-  }
-  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
-
- private:
-  std::vector<std::size_t> parent_;
-};
-
-std::size_t slot(NodeId n, std::size_t num_nodes) {
-  return n == spice::kGround ? num_nodes : static_cast<std::size_t>(n);
-}
-
-/// Node pairs a device conducts DC current between. `caps_conduct` folds
-/// capacitors into the graph (transient decks: the companion model makes
-/// them conductive, and an IC pins the node voltage).
-std::vector<std::pair<NodeId, NodeId>> conduction_edges(const Device& dev,
-                                                        bool caps_conduct) {
-  const auto t = dev.terminals();
-  using Pair = std::pair<NodeId, NodeId>;
-  if (dynamic_cast<const spice::Resistor*>(&dev) ||
-      dynamic_cast<const spice::Inductor*>(&dev) ||
-      dynamic_cast<const spice::VSource*>(&dev)) {
-    return {Pair{t[0], t[1]}};
-  }
-  if (dynamic_cast<const spice::Capacitor*>(&dev)) {
-    if (caps_conduct) return {Pair{t[0], t[1]}};
-    return {};
-  }
-  if (dynamic_cast<const spice::ISource*>(&dev)) return {};
-  if (dynamic_cast<const spice::Vccs*>(&dev)) return {};
-  if (dynamic_cast<const spice::Vcvs*>(&dev)) {
-    return {Pair{t[0], t[1]}};  // output branch is voltage-defined
-  }
-  if (dynamic_cast<const spice::VSwitch*>(&dev)) {
-    return {Pair{t[0], t[1]}};  // finite r_off: always a resistive path
-  }
-  if (dynamic_cast<const devices::Diode*>(&dev)) {
-    return {Pair{t[0], t[1]}};
-  }
-  if (dynamic_cast<const devices::Mosfet*>(&dev)) {
-    // Drain-source channel conducts; the gate is an open circuit (a
-    // floating gate is exactly what the reachability rule must catch).
-    return {Pair{t[0], t[2]}};
-  }
-  // Unknown device type: assume every terminal pair conducts. Being
-  // permissive here keeps the rule free of false positives on devices the
-  // analyzer has never heard of.
-  std::vector<Pair> all;
-  for (std::size_t i = 0; i + 1 < t.size(); ++i) all.emplace_back(t[i], t[i + 1]);
-  return all;
-}
-
-/// True for devices whose branch voltage is fixed independent of current:
-/// chaining them into a loop (or shorting one) makes the MNA matrix
-/// singular. Inductors count — they are DC shorts.
-bool is_voltage_defined(const Device& dev) {
-  return dynamic_cast<const spice::VSource*>(&dev) != nullptr ||
-         dynamic_cast<const spice::Vcvs*>(&dev) != nullptr ||
-         dynamic_cast<const spice::Inductor*>(&dev) != nullptr;
-}
-
-std::pair<NodeId, NodeId> voltage_branch(const Device& dev) {
-  const auto t = dev.terminals();
-  return {t[0], t[1]};
-}
-
 // ------------------------------------------------------------------ rules
 
 void rule_floating_node(const LintContext& ctx, LintReport& out) {
@@ -107,27 +29,23 @@ void rule_floating_node(const LintContext& ctx, LintReport& out) {
   const std::size_t n = c.num_nodes();
   if (n == 0) return;
   const bool caps_conduct = !ctx.deck || !ctx.deck->tran.empty();
-  Dsu dsu(n + 1);
-  for (const auto& dev : c.devices()) {
-    for (const auto& [a, b] : conduction_edges(*dev, caps_conduct)) {
-      dsu.unite(slot(a, n), slot(b, n));
-    }
-  }
-  const std::size_t ground = dsu.find(n);
+  const ConductionComponents& comps = ctx.analyses.components(caps_conduct);
+  const NodeIncidence& incidence = ctx.analyses.incidence();
+  const std::size_t ground = comps.component_of(spice::kGround);
   // One diagnostic per disconnected island, anchored at its first device.
-  std::vector<char> reported(n + 1, 0);
+  std::unordered_set<std::size_t> reported;
   for (std::size_t i = 0; i < n; ++i) {
-    if (ctx.incidence.touches[i].empty()) continue;  // unused-node's job
-    const std::size_t root = dsu.find(i);
-    if (root == ground || reported[root]) continue;
-    reported[root] = 1;
+    if (incidence.touches[i].empty()) continue;  // unused-node's job
+    const std::size_t root = comps.root[i];
+    if (root == ground || reported.count(root) != 0) continue;
+    reported.insert(root);
     std::string nodes;
     std::size_t line = 0;
     for (std::size_t j = i; j < n; ++j) {
-      if (dsu.find(j) != root || ctx.incidence.touches[j].empty()) continue;
+      if (comps.root[j] != root || incidence.touches[j].empty()) continue;
       if (!nodes.empty()) nodes += "', '";
       nodes += c.node_name(static_cast<NodeId>(j));
-      for (const auto& touch : ctx.incidence.touches[j]) {
+      for (const auto& touch : incidence.touches[j]) {
         const std::size_t l = touch.device->source_line();
         if (l && (line == 0 || l < line)) line = l;
       }
@@ -153,8 +71,8 @@ void rule_vsource_loop(const LintContext& ctx, LintReport& out) {
   for (const auto& dev : c.devices()) {
     if (!is_voltage_defined(*dev)) continue;
     const auto [a, b] = voltage_branch(*dev);
-    const std::size_t sa = slot(a, n);
-    const std::size_t sb = slot(b, n);
+    const std::size_t sa = node_slot(a, n);
+    const std::size_t sb = node_slot(b, n);
     Diagnostic d;
     d.rule = "vsource-loop";
     d.severity = Severity::kError;
@@ -184,8 +102,9 @@ void rule_vsource_loop(const LintContext& ctx, LintReport& out) {
 
 void rule_dangling_terminal(const LintContext& ctx, LintReport& out) {
   const spice::Circuit& c = ctx.circuit;
-  for (std::size_t i = 0; i < ctx.incidence.touches.size(); ++i) {
-    const auto& touches = ctx.incidence.touches[i];
+  const NodeIncidence& incidence = ctx.analyses.incidence();
+  for (std::size_t i = 0; i < incidence.touches.size(); ++i) {
+    const auto& touches = incidence.touches[i];
     if (touches.size() != 1) continue;
     const auto& touch = touches.front();
     Diagnostic d;
@@ -204,8 +123,9 @@ void rule_dangling_terminal(const LintContext& ctx, LintReport& out) {
 
 void rule_unused_node(const LintContext& ctx, LintReport& out) {
   const spice::Circuit& c = ctx.circuit;
-  for (std::size_t i = 0; i < ctx.incidence.touches.size(); ++i) {
-    if (!ctx.incidence.touches[i].empty()) continue;
+  const NodeIncidence& incidence = ctx.analyses.incidence();
+  for (std::size_t i = 0; i < incidence.touches.size(); ++i) {
+    if (!incidence.touches[i].empty()) continue;
     Diagnostic d;
     d.rule = "unused-node";
     d.severity = Severity::kNote;
@@ -360,20 +280,6 @@ void rule_empty_deck(const LintContext& ctx, LintReport& out) {
 
 }  // namespace
 
-NodeIncidence NodeIncidence::build(const spice::Circuit& circuit) {
-  NodeIncidence inc;
-  inc.touches.resize(circuit.num_nodes());
-  for (const auto& dev : circuit.devices()) {
-    const auto terms = dev->terminals();
-    for (std::size_t k = 0; k < terms.size(); ++k) {
-      if (terms[k] == spice::kGround) continue;
-      inc.touches[static_cast<std::size_t>(terms[k])].push_back(
-          Touch{dev.get(), k});
-    }
-  }
-  return inc;
-}
-
 const std::vector<Rule>& builtin_rules() {
   static const std::vector<Rule> rules = {
       {"floating-node", Severity::kError,
@@ -400,10 +306,36 @@ const std::vector<Rule>& builtin_rules() {
       {"dc-sweep-source", Severity::kError,
        ".dc target missing, not a V source, or zero step",
        rule_dc_sweep_source},
+      {"subthreshold-window", Severity::kError,
+       "FeFET gate bias may leave the subthreshold read window over the "
+       "deck's temperature range",
+       passes::subthreshold_window},
+      {"vth-temp-drift", Severity::kError,
+       "FeFET memory window collapses or thresholds invert over 0-85 degC",
+       passes::vth_temp_drift},
+      {"cim-array-shape", Severity::kError,
+       "CiM bitline with duplicated wordlines, ragged rows, or no sense "
+       "branch",
+       passes::cim_array_shape},
+      {"adc-range", Severity::kWarning,
+       "readout node interval exceeds the configured ADC full scale",
+       passes::adc_range},
       {"empty-deck", Severity::kNote, "netlist defines no devices",
        rule_empty_deck},
   };
   return rules;
+}
+
+void validate_rule_table(const std::vector<Rule>& rules) {
+  std::unordered_set<std::string> seen;
+  for (const Rule& r : rules) {
+    if (!seen.insert(r.id).second) {
+      throw std::invalid_argument("lint: duplicate rule id '" +
+                                  std::string(r.id) +
+                                  "' in rule table (registration would be "
+                                  "silently shadowed)");
+    }
+  }
 }
 
 const std::vector<ParseRuleInfo>& parse_rules() {

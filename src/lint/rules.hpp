@@ -1,30 +1,35 @@
-// Electrical-rule-check passes over a parsed Circuit (+ optional
-// NetlistDeck). Each rule is a pure static-analysis function: it inspects
-// the circuit topology / device parameters / deck directives and appends
-// Diagnostic records — no solve is ever attempted. The Linter (linter.hpp)
-// owns the pipeline order and the enable/disable set.
+// Electrical-rule-check and semantic analysis passes over a parsed
+// Circuit (+ optional NetlistDeck). Each rule is a pure static-analysis
+// function: it inspects the circuit topology / device parameters / deck
+// directives — or the shared analyses cached by the AnalysisManager
+// (analysis.hpp) — and appends Diagnostic records. No solve is ever
+// attempted. The Linter (linter.hpp) owns the pipeline order and the
+// enable/disable set.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
+#include "lint/analysis.hpp"
 #include "lint/diagnostics.hpp"
 #include "spice/circuit.hpp"
 #include "spice/netlist.hpp"
 
 namespace sfc::lint {
 
-/// Terminal incidence of every non-ground node, shared by the topology
-/// rules so each pass does not rebuild it.
-struct NodeIncidence {
-  struct Touch {
-    const spice::Device* device = nullptr;
-    std::size_t terminal = 0;  ///< index into Device::terminals()
-  };
-  /// Indexed by NodeId; ground is excluded (always well-connected).
-  std::vector<std::vector<Touch>> touches;
-
-  static NodeIncidence build(const spice::Circuit& circuit);
+/// Thresholds consumed by the semantic passes. Defaults mirror the
+/// paper's operating point and the CiM defaults in cim/config.hpp.
+struct LintOptions {
+  /// subthreshold-window: required head-room between the worst-case FeFET
+  /// gate-source bias and the high-VTH (erased) state threshold [V].
+  double subthreshold_margin = 0.1;
+  /// vth-temp-drift: minimum acceptable memory window anywhere in the
+  /// temperature range [V].
+  double min_memory_window = 0.2;
+  /// adc-range: readout full scale [V]; mirrors cim::CimConfig::v_bl.
+  double adc_full_scale = 1.2;
+  /// adc-range: slack added to the full scale before flagging [V].
+  double adc_tolerance = 1e-6;
 };
 
 struct LintContext {
@@ -34,7 +39,10 @@ struct LintContext {
   /// treated as conductive for reachability — the caller may legitimately
   /// intend a transient).
   const spice::NetlistDeck* deck = nullptr;
-  NodeIncidence incidence;
+  /// Shared analyses (incidence, conduction graphs, operating intervals),
+  /// computed lazily and cached across the pass pipeline.
+  AnalysisManager& analyses;
+  LintOptions options;
 };
 
 struct Rule {
@@ -47,6 +55,12 @@ struct Rule {
 /// The built-in circuit/deck pass pipeline, in execution order.
 const std::vector<Rule>& builtin_rules();
 
+/// Throws std::invalid_argument when two rules share an id. Run by the
+/// Linter constructor over the table it was built with, so a bad custom
+/// or edited rule set fails loudly instead of silently shadowing in
+/// index_of.
+void validate_rule_table(const std::vector<Rule>& rules);
+
 /// Rules enforced during parse_netlist itself (surfaced by lint_source as
 /// diagnostics via spice::NetlistError::rule()). Listed here so the CLI
 /// rule table and the docs cover the full rule set.
@@ -55,5 +69,14 @@ struct ParseRuleInfo {
   const char* description;
 };
 const std::vector<ParseRuleInfo>& parse_rules();
+
+/// Semantic passes (passes_semantic.cpp), registered in builtin_rules()
+/// and exposed for targeted tests.
+namespace passes {
+void subthreshold_window(const LintContext& ctx, LintReport& out);
+void vth_temp_drift(const LintContext& ctx, LintReport& out);
+void cim_array_shape(const LintContext& ctx, LintReport& out);
+void adc_range(const LintContext& ctx, LintReport& out);
+}  // namespace passes
 
 }  // namespace sfc::lint

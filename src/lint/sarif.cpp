@@ -1,0 +1,105 @@
+#include "lint/sarif.hpp"
+
+#include <string>
+#include <unordered_set>
+
+#include "lint/rules.hpp"
+
+namespace sfc::lint {
+namespace {
+
+verify::Json text_object(const std::string& text) {
+  verify::Json t = verify::Json::object();
+  t.set("text", text);
+  return t;
+}
+
+verify::Json rule_entry(const char* id, const char* description,
+                        Severity level) {
+  verify::Json cfg = verify::Json::object();
+  cfg.set("level", severity_name(level));
+  verify::Json rule = verify::Json::object();
+  rule.set("id", id);
+  rule.set("shortDescription", text_object(description));
+  rule.set("defaultConfiguration", std::move(cfg));
+  return rule;
+}
+
+}  // namespace
+
+verify::Json to_sarif(const LintReport& report,
+                      const std::string& artifact_uri) {
+  verify::JsonArray rules;
+  std::unordered_set<std::string> seen;
+  for (const Rule& r : builtin_rules()) {
+    seen.insert(r.id);
+    rules.push_back(rule_entry(r.id, r.description, r.severity));
+  }
+  for (const ParseRuleInfo& r : parse_rules()) {
+    // Parse rules abort the parse: always errors. nonpositive-value exists
+    // in both tables (parse-time and circuit-level checks share the id) —
+    // SARIF rule ids must be unique, so the builtin entry wins.
+    if (seen.count(r.id) != 0) continue;
+    rules.push_back(rule_entry(r.id, r.description, Severity::kError));
+  }
+
+  verify::Json driver = verify::Json::object();
+  driver.set("name", "sfc_lint");
+  driver.set("version", kSarifDriverVersion);
+  driver.set("rules", verify::Json(std::move(rules)));
+
+  verify::Json tool = verify::Json::object();
+  tool.set("driver", std::move(driver));
+
+  verify::JsonArray results;
+  results.reserve(report.diagnostics().size());
+  for (const Diagnostic& d : report.diagnostics()) {
+    verify::Json result = verify::Json::object();
+    result.set("ruleId", d.rule);
+    result.set("level", severity_name(d.severity));
+    result.set("message", text_object(d.message));
+
+    verify::Json artifact = verify::Json::object();
+    artifact.set("uri", artifact_uri);
+    verify::Json physical = verify::Json::object();
+    physical.set("artifactLocation", std::move(artifact));
+    if (d.line > 0) {
+      verify::Json region = verify::Json::object();
+      region.set("startLine", static_cast<double>(d.line));
+      physical.set("region", std::move(region));
+    }
+    verify::Json location = verify::Json::object();
+    location.set("physicalLocation", std::move(physical));
+    verify::JsonArray locations;
+    locations.push_back(std::move(location));
+    result.set("locations", verify::Json(std::move(locations)));
+
+    if (!d.fingerprint.empty()) {
+      verify::Json fingerprints = verify::Json::object();
+      fingerprints.set(kSarifFingerprintKey, d.fingerprint);
+      result.set("partialFingerprints", std::move(fingerprints));
+    }
+    if (d.suppressed) {
+      verify::Json suppression = verify::Json::object();
+      suppression.set("kind", "external");
+      verify::JsonArray suppressions;
+      suppressions.push_back(std::move(suppression));
+      result.set("suppressions", verify::Json(std::move(suppressions)));
+    }
+    results.push_back(std::move(result));
+  }
+
+  verify::Json run = verify::Json::object();
+  run.set("tool", std::move(tool));
+  run.set("results", verify::Json(std::move(results)));
+  verify::JsonArray runs;
+  runs.push_back(std::move(run));
+
+  verify::Json out = verify::Json::object();
+  out.set("$schema", "https://json.schemastore.org/sarif-2.1.0.json");
+  out.set("version", "2.1.0");
+  out.set("runs", verify::Json(std::move(runs)));
+  return out;
+}
+
+}  // namespace sfc::lint

@@ -1,0 +1,31 @@
+// SARIF 2.1.0 emission for lint reports, so CI systems (GitHub code
+// scanning, Gerrit checks, ...) can ingest sfc_lint findings natively.
+// Kept to the minimal stable subset of the spec: one run, one driver,
+// the full rule table, and per-result level / message / location /
+// partialFingerprints (+ suppressions for baselined findings). The key
+// set is pinned by tests/goldens/sarif_keys.json and gated in CI via
+// `verify_runner check-sarif`.
+#pragma once
+
+#include <string>
+
+#include "lint/diagnostics.hpp"
+#include "verify/json.hpp"
+
+namespace sfc::lint {
+
+/// Version reported as runs[].tool.driver.version.
+inline constexpr const char* kSarifDriverVersion = "1.0.0";
+
+/// Key under results[].partialFingerprints carrying the baseline
+/// fingerprint (versioned, per the SARIF convention).
+inline constexpr const char* kSarifFingerprintKey = "sfcLint/v1";
+
+/// Serialize the report as a SARIF 2.1.0 log. `artifact_uri` names the
+/// linted deck in result locations ("netlist" when linting stdin/API
+/// circuits). Suppressed findings are emitted with a suppression record,
+/// matching the baseline semantics of the text/JSON outputs.
+verify::Json to_sarif(const LintReport& report,
+                      const std::string& artifact_uri);
+
+}  // namespace sfc::lint

@@ -50,6 +50,10 @@ class Capacitor final : public Device {
   std::vector<NodeId> terminals() const override { return {a_, b_}; }
 
   double capacitance() const { return farads_; }
+  /// True when an explicit `ic=` initial condition was given.
+  bool has_initial_condition() const { return ic_ != kNoIc; }
+  /// The explicit initial condition (a -> b) [V]; kNoIc when absent.
+  double initial_condition() const { return ic_; }
   /// Voltage across the capacitor at the last accepted step.
   double voltage() const { return v_prev_; }
   /// Stored energy 0.5*C*V^2 at the last accepted step [J].
@@ -235,6 +239,8 @@ class Vcvs final : public Device {
   std::vector<NodeId> terminals() const override {
     return {out_p_, out_n_, ctrl_p_, ctrl_n_};
   }
+
+  double gain() const { return gain_; }
 
   std::unique_ptr<Device> clone() const override {
     return std::unique_ptr<Device>(new Vcvs(*this));

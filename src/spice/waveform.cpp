@@ -81,6 +81,41 @@ double Waveform::at(double t) const {
   return 0.0;
 }
 
+std::pair<double, double> Waveform::range() const {
+  switch (kind_) {
+    case Kind::kDc:
+      return {level_, level_};
+    case Kind::kSine: {
+      double lo = level_ - std::fabs(amplitude_);
+      double hi = level_ + std::fabs(amplitude_);
+      if (delay_ > 0.0) {
+        // Holds the plain offset until the delay elapses; the envelope
+        // already contains it, but be explicit for amplitude < 0 quirks.
+        lo = std::min(lo, level_);
+        hi = std::max(hi, level_);
+      }
+      return {lo, hi};
+    }
+    case Kind::kPwl: {
+      if (pwl_times_.empty()) return {at(0.0), at(0.0)};
+      // Piecewise-linear with constant extrapolation: every extremum sits
+      // on a breakpoint (t < 0 segments are clamped into the t=0 value,
+      // which evaluating at the breakpoint times still covers).
+      double lo = at(0.0);
+      double hi = lo;
+      for (double t : pwl_times_) {
+        const double v = pwl_(t);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      return {lo, hi};
+    }
+    case Kind::kPulse:
+      return {std::min(v1_, v2_), std::max(v1_, v2_)};
+  }
+  return {0.0, 0.0};
+}
+
 void Waveform::collect_breakpoints(double t_stop,
                                    std::vector<double>& out) const {
   switch (kind_) {

@@ -36,6 +36,12 @@ class Waveform {
   /// Value at t=0 (used by the DC operating point preceding a transient).
   double initial() const { return at(0.0); }
 
+  /// Conservative {min, max} of the waveform over all t >= 0. Exact for
+  /// DC/PULSE/PWL; for SIN it is the offset +/- amplitude envelope (plus
+  /// the pre-delay level). Used by the static operating-point analysis
+  /// (src/lint) to bound source nodes over a whole transient.
+  std::pair<double, double> range() const;
+
  private:
   enum class Kind { kDc, kPulse, kPwl, kSine };
   Kind kind_ = Kind::kDc;

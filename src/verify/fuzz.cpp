@@ -9,6 +9,7 @@
 #include "cim/array.hpp"
 #include "exec/stream.hpp"
 #include "fefet/fefet.hpp"
+#include "lint/analysis.hpp"
 #include "lint/linter.hpp"
 #include "spice/engine.hpp"
 #include "spice/primitives.hpp"
@@ -487,6 +488,32 @@ CheckResult check_dc_kcl(const FuzzNetlist& nl, const FuzzOptions& opt) {
               : "aux row " + std::to_string(worst_row - num_nodes))
       << " exceeds tol " << Json::format_number(opt.kcl_tol);
     out.failure = fail("kcl_residual", d.str());
+    return out;
+  }
+
+  // Differential soundness oracle: the static interval analysis claims a
+  // per-node bias interval that provably contains every DC operating
+  // point. The converged solver solution is a witness — an escape is an
+  // unsoundness bug in the abstract domain, never a tolerance issue.
+  if (opt.interval_oracle) {
+    lint::IntervalOptions iopt;
+    iopt.gmin_max = op.gmin_used;
+    const lint::OperatingIntervals iv =
+        lint::compute_operating_intervals(circuit, nullptr, iopt);
+    for (std::size_t n = 0; n < num_nodes; ++n) {
+      const double v = op.x[n];
+      const lint::Interval bound =
+          iv.dc_at(static_cast<spice::NodeId>(n));
+      if (bound.is_empty() ||
+          !bound.widened(1e-6 * (1.0 + std::fabs(v))).contains(v)) {
+        std::ostringstream d;
+        d << "solver DC value " << Json::format_number(v) << " at node "
+          << circuit.node_name(static_cast<int>(n))
+          << " escapes static interval " << bound.str();
+        out.failure = fail("interval_escape", d.str());
+        return out;
+      }
+    }
   }
   return out;
 }
@@ -512,6 +539,14 @@ CheckResult check_charge_share(const FuzzNetlist& nl, const FuzzOptions& opt) {
     out.failure = fail("transient_convergence", "transient failed");
     return out;
   }
+  // Envelope soundness oracle: every capacitor node's final transient
+  // value must lie inside the static envelope interval (the analysis sees
+  // no .tran directive here, but a null deck means "a transient may
+  // follow", which engages envelope mode).
+  const lint::OperatingIntervals iv =
+      opt.interval_oracle
+          ? lint::compute_operating_intervals(circuit, nullptr, {})
+          : lint::OperatingIntervals{};
   double q_end = 0.0;
   for (const FuzzDevice& d : nl.devices) {
     if (d.kind != FuzzDevice::Kind::kCapacitor) continue;
@@ -520,6 +555,19 @@ CheckResult check_charge_share(const FuzzNetlist& nl, const FuzzOptions& opt) {
     const double v = tr.final_value(node);
     q_end += d.value * v;
     out.observable = hash_double(out.observable, v);
+    if (opt.interval_oracle && d.n1 >= 0) {
+      const lint::Interval bound =
+          iv.envelope_at(static_cast<spice::NodeId>(d.n1));
+      if (bound.is_empty() ||
+          !bound.widened(1e-6 * (1.0 + std::fabs(v))).contains(v)) {
+        std::ostringstream msg;
+        msg << "transient final value " << Json::format_number(v)
+            << " at node " << node << " escapes static envelope "
+            << bound.str();
+        out.failure = fail("envelope_escape", msg.str());
+        return out;
+      }
+    }
   }
   const double allowed = opt.charge_tol_abs + opt.charge_tol_rel * q_scale;
   if (std::fabs(q_end - q_start) > allowed) {

@@ -60,6 +60,13 @@ struct FuzzOptions {
   /// failure — the generator and the static analyzer must agree on what a
   /// well-formed netlist is.
   bool lint_cross_check = true;
+  /// Differential soundness oracle for the interval operating-point
+  /// analysis (lint/analysis.hpp): every converged DC solution must lie
+  /// inside the statically computed per-node bias interval, and every
+  /// charge-share transient must stay inside the envelope interval. An
+  /// escape means the abstract domain is unsound — a hard failure
+  /// ("interval_escape" / "envelope_escape").
+  bool interval_oracle = true;
 };
 
 /// One device card of a generated netlist. Node index -1 is ground,

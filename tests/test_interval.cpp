@@ -1,0 +1,190 @@
+// Unit tests for the outward-rounded interval domain (lint/interval.hpp)
+// backing the operating-point analysis. The contract under test is
+// soundness: for any reals x in A and y in B, x op y is in A op B — the
+// fuzz campaign checks this end-to-end against the solver, these tests
+// check the arithmetic kernels directly.
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint/interval.hpp"
+
+namespace lint = sfc::lint;
+using lint::Interval;
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+TEST(Interval, ConstructorsAndClassification) {
+  EXPECT_TRUE(Interval().is_universe());
+  EXPECT_TRUE(Interval::empty().is_empty());
+  EXPECT_TRUE(Interval::universe().is_universe());
+  const Interval s(2.0);
+  EXPECT_TRUE(s.is_singleton());
+  EXPECT_EQ(s.lo(), 2.0);  // singleton construction is exact, no rounding
+  EXPECT_EQ(s.hi(), 2.0);
+  EXPECT_TRUE(Interval(1.0, 2.0).is_bounded());
+  // Inverted endpoints canonicalize to the empty interval.
+  EXPECT_TRUE(Interval(2.0, 1.0).is_empty());
+  // NaN endpoints degrade to the universe (unknown, not impossible).
+  EXPECT_TRUE(Interval(std::nan("")).is_universe());
+  EXPECT_TRUE(Interval(0.0, std::nan("")).is_universe());
+}
+
+TEST(Interval, ContainsAndWidth) {
+  const Interval a(1.0, 2.0);
+  EXPECT_TRUE(a.contains(1.0));
+  EXPECT_TRUE(a.contains(2.0));
+  EXPECT_TRUE(a.contains(1.5));
+  EXPECT_FALSE(a.contains(0.999));
+  EXPECT_TRUE(a.contains(Interval(1.25, 1.75)));
+  EXPECT_FALSE(a.contains(Interval(0.5, 1.5)));
+  EXPECT_FALSE(Interval::empty().contains(0.0));
+  EXPECT_TRUE(Interval::universe().contains(1e300));
+  EXPECT_DOUBLE_EQ(a.width(), 1.0);
+  EXPECT_EQ(Interval::empty().width(), 0.0);
+}
+
+TEST(Interval, AdditionRoundsOutward) {
+  // 0.1 + 0.2 != 0.3 in binary floating point; the interval sum must
+  // nevertheless contain the exact real sum of the two doubles, which
+  // means the bounds move strictly outward from the rounded result.
+  const Interval sum = Interval(0.1) + Interval(0.2);
+  const double rounded = 0.1 + 0.2;
+  EXPECT_TRUE(sum.contains(rounded));
+  EXPECT_LT(sum.lo(), rounded);
+  EXPECT_GT(sum.width(), 0.0);
+  // Outward rounding never collapses: repeated accumulation only widens.
+  Interval acc(0.0);
+  for (int i = 0; i < 100; ++i) acc = acc + Interval(0.1);
+  EXPECT_TRUE(acc.contains(100 * 0.1));
+  EXPECT_GT(acc.width(), 0.0);
+}
+
+TEST(Interval, SubtractionContainsZeroForSelfDifference) {
+  const Interval a(1.0, 2.0);
+  const Interval d = a - a;
+  // x - y for x, y drawn independently from [1,2] spans [-1,1].
+  EXPECT_TRUE(d.contains(0.0));
+  EXPECT_TRUE(d.contains(-1.0));
+  EXPECT_TRUE(d.contains(1.0));
+  const Interval n = -a;
+  EXPECT_DOUBLE_EQ(n.lo(), -2.0);
+  EXPECT_DOUBLE_EQ(n.hi(), -1.0);
+}
+
+TEST(Interval, MultiplicationSignCasesAndZeroConvention) {
+  const Interval m = Interval(-2.0, 3.0) * Interval(-1.0, 4.0);
+  EXPECT_TRUE(m.contains(12.0));   // 3 * 4
+  EXPECT_TRUE(m.contains(-8.0));   // -2 * 4
+  EXPECT_TRUE(m.contains(2.0));    // -2 * -1
+  // The 0 * inf = 0 convention: a hard zero annihilates the universe
+  // (needed so "exactly zero conductance" stays zero against an unbounded
+  // voltage). Outward rounding may still widen the result by one ulp of
+  // zero, so the check is "bounded and tiny", not "exact singleton".
+  const Interval z = Interval(0.0) * Interval::universe();
+  EXPECT_TRUE(z.contains(0.0));
+  EXPECT_TRUE(z.is_bounded());
+  EXPECT_LE(z.width(), 1e-300);
+}
+
+TEST(Interval, DivisionByZeroStraddlingDivisorIsUniverse) {
+  EXPECT_TRUE((Interval(1.0, 2.0) / Interval(-1.0, 1.0)).is_universe());
+  EXPECT_TRUE((Interval(1.0) / Interval(0.0)).is_universe());
+  EXPECT_TRUE((Interval(1.0) / Interval(0.0, 5.0)).is_universe());
+  // A strictly-positive divisor divides normally, with outward rounding.
+  const Interval q = Interval(1.0) / Interval(3.0);
+  EXPECT_TRUE(q.contains(1.0 / 3.0));
+  EXPECT_GT(q.width(), 0.0);
+  EXPECT_NEAR(q.lo(), 1.0 / 3.0, 1e-15);
+}
+
+TEST(Interval, EmptyPropagatesThroughArithmetic) {
+  const Interval e = Interval::empty();
+  const Interval a(1.0, 2.0);
+  EXPECT_TRUE((e + a).is_empty());
+  EXPECT_TRUE((a - e).is_empty());
+  EXPECT_TRUE((e * a).is_empty());
+  EXPECT_TRUE((e / a).is_empty());
+  EXPECT_TRUE((-e).is_empty());
+  EXPECT_TRUE(e.widened(1.0).is_empty());
+}
+
+TEST(Interval, UniversePropagatesThroughAddition) {
+  const Interval u = Interval::universe();
+  EXPECT_TRUE((u + Interval(1.0)).is_universe());
+  EXPECT_TRUE((Interval(1.0) - u).is_universe());
+  EXPECT_FALSE((u + Interval(1.0)).is_empty());
+}
+
+TEST(Interval, HullAndIntersect) {
+  EXPECT_EQ(Interval::hull(Interval(0.0, 1.0), Interval(2.0, 3.0)),
+            Interval(0.0, 3.0));
+  EXPECT_EQ(Interval::hull(Interval::empty(), Interval(1.0, 2.0)),
+            Interval(1.0, 2.0));
+  EXPECT_EQ(Interval::intersect(Interval(0.0, 2.0), Interval(1.0, 3.0)),
+            Interval(1.0, 2.0));
+  EXPECT_TRUE(
+      Interval::intersect(Interval(0.0, 1.0), Interval(2.0, 3.0)).is_empty());
+  Interval acc = Interval::empty();
+  acc |= Interval(1.0);
+  acc |= Interval(-1.0);
+  EXPECT_EQ(acc, Interval(-1.0, 1.0));
+  acc &= Interval(0.0, 5.0);
+  EXPECT_EQ(acc, Interval(0.0, 1.0));
+}
+
+TEST(Interval, WidenedExpandsBothSides) {
+  const Interval w = Interval(1.0, 2.0).widened(0.25);
+  EXPECT_TRUE(w.contains(0.75));
+  EXPECT_TRUE(w.contains(2.25));
+  EXPECT_FALSE(w.contains(0.5));
+}
+
+TEST(Interval, ArithmeticIsInclusionMonotone) {
+  // a subset of A and b subset of B implies (a op b) subset of (A op B) —
+  // the property the fixpoint engine relies on when it narrows operands.
+  const Interval big_a(-2.0, 5.0), big_b(0.5, 4.0);
+  const Interval small_a(-1.0, 2.0), small_b(1.0, 3.0);
+  ASSERT_TRUE(big_a.contains(small_a));
+  ASSERT_TRUE(big_b.contains(small_b));
+  EXPECT_TRUE((big_a + big_b).contains(small_a + small_b));
+  EXPECT_TRUE((big_a - big_b).contains(small_a - small_b));
+  EXPECT_TRUE((big_a * big_b).contains(small_a * small_b));
+  EXPECT_TRUE((big_a / big_b).contains(small_a / small_b));
+}
+
+TEST(Interval, SampledContainmentAgainstPointArithmetic) {
+  // Deterministic sample grid: every point product/quotient must land in
+  // the interval result (the definition of soundness for the domain).
+  const Interval a(-1.5, 2.25), b(0.25, 3.0);
+  const Interval sum = a + b, dif = a - b, prod = a * b, quot = a / b;
+  for (int i = 0; i <= 8; ++i) {
+    const double x = a.lo() + (a.hi() - a.lo()) * i / 8.0;
+    for (int j = 0; j <= 8; ++j) {
+      const double y = b.lo() + (b.hi() - b.lo()) * j / 8.0;
+      EXPECT_TRUE(sum.contains(x + y)) << x << "+" << y;
+      EXPECT_TRUE(dif.contains(x - y)) << x << "-" << y;
+      EXPECT_TRUE(prod.contains(x * y)) << x << "*" << y;
+      EXPECT_TRUE(quot.contains(x / y)) << x << "/" << y;
+    }
+  }
+}
+
+TEST(Interval, InfiniteEndpointsSurviveRounding) {
+  const Interval half_line(0.0, kInf);
+  EXPECT_FALSE(half_line.is_bounded());
+  EXPECT_FALSE(half_line.is_universe());
+  const Interval shifted = half_line + Interval(1.0);
+  EXPECT_TRUE(shifted.contains(1e308));
+  EXPECT_FALSE(shifted.contains(0.0));
+}
+
+TEST(Interval, StrSmoke) {
+  EXPECT_EQ(Interval::empty().str(), "(empty)");
+  EXPECT_EQ(Interval::universe().str(), "(unbounded)");
+  EXPECT_NE(Interval(1.0, 2.0).str().find("1"), std::string::npos);
+}

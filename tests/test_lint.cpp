@@ -12,9 +12,13 @@
 #include <gtest/gtest.h>
 
 #include "devices/mosfet.hpp"
+#include "lint/analysis.hpp"
+#include "lint/baseline.hpp"
+#include "lint/interval.hpp"
 #include "lint/linter.hpp"
 #include "lint/preflight.hpp"
 #include "lint/rules.hpp"
+#include "lint/sarif.hpp"
 #include "spice/engine.hpp"
 #include "spice/netlist.hpp"
 #include "spice/primitives.hpp"
@@ -409,6 +413,332 @@ TEST(LintPreflight, CleanDeckSolvesNormally) {
   lint::install_preflight(engine, &parsed);
   const spice::DcResult op = engine.dc_operating_point();
   EXPECT_NEAR(op.voltage("b"), 1.0 * 33.0 / 80.0, 1e-6);
+}
+
+// ------------------------------------------------- semantic passes
+
+TEST(LintSemantic, SubthresholdWindowFlagsHotWordline) {
+  // 1.6 V on the gate statically exceeds the erased-state threshold at
+  // the hot corner (1.458 V at 85 degC) minus the 0.1 V margin: a stored
+  // '0' may conduct, which breaks the read scheme.
+  const std::string bad =
+      "VG g 0 1.6\n"
+      "VD d 0 0.05\n"
+      "Z1 d g 0 state=0\n"
+      ".end\n";
+  const lint::LintReport report = lint_text(bad);
+  const auto d = find_rule(report, "subthreshold-window");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->severity, lint::Severity::kError);
+  EXPECT_EQ(d->object, "Z1");
+  EXPECT_EQ(report.exit_code(), 3);
+  // The paper's 0.35 V read bias is provably inside the window.
+  const std::string good =
+      "VG g 0 0.35\n"
+      "VD d 0 0.05\n"
+      "Z1 d g 0 state=0\n"
+      ".end\n";
+  EXPECT_TRUE(lint_text(good).clean());
+}
+
+TEST(LintSemantic, VthTempDriftWarnsOnNarrowWindow) {
+  // A 0.15 V programming window shrinks below min_memory_window (0.2 V)
+  // over 0..85 degC; the default 1.45 V window does not.
+  const std::string narrow =
+      "VG g 0 0.1\n"
+      "VD d 0 0.05\n"
+      "Z1 d g 0 state=1 vthlow=0.8 vthhigh=0.95\n"
+      ".end\n";
+  const auto d = find_rule(lint_text(narrow), "vth-temp-drift");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->severity, lint::Severity::kWarning);
+  EXPECT_EQ(d->object, "Z1");
+  const std::string wide =
+      "VG g 0 0.35\n"
+      "VD d 0 0.05\n"
+      "Z1 d g 0 state=1 vthlow=0.25 vthhigh=1.7\n"
+      ".end\n";
+  EXPECT_FALSE(find_rule(lint_text(wide), "vth-temp-drift").has_value());
+}
+
+TEST(LintSemantic, CimArrayShapeDuplicateGateAndMissingSense) {
+  // Two cells of one bitline sharing a wordline can never be addressed
+  // individually.
+  const std::string dup =
+      "VBL bl 0 0.1\n"
+      "VG g 0 0.2\n"
+      "Z1 bl g 0 state=1\n"
+      "Z2 bl g 0 state=0\n"
+      ".end\n";
+  const auto d = find_rule(lint_text(dup), "cim-array-shape");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->severity, lint::Severity::kError);
+  // A bitline touched by nothing but FeFET cells has no sense branch.
+  const std::string unsensed =
+      "VG1 g1 0 0.2\n"
+      "VG2 g2 0 0.2\n"
+      "Z1 bl g1 0 state=0\n"
+      "Z2 bl g2 0 state=0\n"
+      ".end\n";
+  const auto s = find_rule(lint_text(unsensed), "cim-array-shape");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_NE(s->message.find("sense"), std::string::npos);
+  // Distinct wordlines + a sense source is a legal row.
+  const std::string good =
+      "VBL bl 0 0.1\n"
+      "VG1 g1 0 0.2\n"
+      "VG2 g2 0 0.2\n"
+      "Z1 bl g1 0 state=1\n"
+      "Z2 bl g2 0 state=0\n"
+      ".end\n";
+  EXPECT_FALSE(find_rule(lint_text(good), "cim-array-shape").has_value());
+}
+
+TEST(LintSemantic, AdcRangeWarnsWhenBitlineExceedsFullScale) {
+  // The bitline is pinned at 1.5 V — statically above the 1.2 V readout
+  // full scale.
+  const std::string hot =
+      "VBL bl 0 1.5\n"
+      "VG1 g1 0 0.2\n"
+      "VG2 g2 0 0.2\n"
+      "Z1 bl g1 0 state=0\n"
+      "Z2 bl g2 0 state=0\n"
+      ".end\n";
+  const auto d = find_rule(lint_text(hot), "adc-range");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->severity, lint::Severity::kWarning);
+  EXPECT_EQ(d->object, "bl");
+  const std::string ok =
+      "VBL bl 0 1.0\n"
+      "VG1 g1 0 0.2\n"
+      "VG2 g2 0 0.2\n"
+      "Z1 bl g1 0 state=0\n"
+      "Z2 bl g2 0 state=0\n"
+      ".end\n";
+  EXPECT_FALSE(find_rule(lint_text(ok), "adc-range").has_value());
+}
+
+// ------------------------------------------- interval operating points
+
+TEST(LintAnalysis, DividerBoundsAreTightAndSound) {
+  const std::string deck =
+      "V1 a 0 1.2\n"
+      "R1 a mid 47k\n"
+      "R2 mid 0 33k\n"
+      ".end\n";
+  spice::Circuit circuit;
+  const spice::NetlistDeck parsed = spice::parse_netlist(deck, circuit);
+  const lint::OperatingIntervals iv =
+      lint::compute_operating_intervals(circuit, &parsed);
+  EXPECT_FALSE(iv.dc_contradiction);
+  const spice::NodeId a = *circuit.find_node("a");
+  const spice::NodeId mid = *circuit.find_node("mid");
+  // The pinned node is exact (up to sweep hulling: none here).
+  EXPECT_TRUE(iv.dc_at(a).contains(1.2));
+  EXPECT_LT(iv.dc_at(a).width(), 1e-9);
+  // The Thevenin refinement pins the divider midpoint to ~33/80 of 1.2 V.
+  const double expect_mid = 1.2 * 33.0 / 80.0;
+  EXPECT_TRUE(iv.dc_at(mid).contains(expect_mid));
+  EXPECT_LT(iv.dc_at(mid).width(), 0.01);
+  EXPECT_GE(iv.dc_at(mid).lo(), -1e-9);
+  EXPECT_LE(iv.dc_at(mid).hi(), 1.2 + 1e-9);
+}
+
+TEST(LintAnalysis, EnvelopeBoundsChargeShareByInitialConditions) {
+  // Two pre-charged capacitors joined by a resistor: every transient
+  // voltage stays inside the hull of {0, ic1, ic2}.
+  const std::string deck =
+      "C1 n1 0 1p ic=0.8\n"
+      "C2 n2 0 1p ic=0.2\n"
+      "R1 n1 n2 10k\n"
+      ".tran 1n 100n\n"
+      ".end\n";
+  spice::Circuit circuit;
+  const spice::NetlistDeck parsed = spice::parse_netlist(deck, circuit);
+  const lint::OperatingIntervals iv =
+      lint::compute_operating_intervals(circuit, &parsed);
+  ASSERT_TRUE(iv.has_tran);
+  const spice::NodeId n1 = *circuit.find_node("n1");
+  const lint::Interval env = iv.envelope_at(n1);
+  EXPECT_TRUE(env.contains(0.5));  // the charge-share endpoint
+  EXPECT_TRUE(env.contains(0.8));  // the initial condition
+  EXPECT_LE(env.hi(), 0.8 + 1e-9);
+  EXPECT_GE(env.lo(), -1e-9);
+}
+
+TEST(LintAnalysis, CurrentSourceTaintsItsComponentOnly) {
+  // The current source makes node x unbounded, but the independent
+  // divider on the other component keeps its tight bounds.
+  const std::string deck =
+      "V1 a 0 1.0\n"
+      "R1 a mid 10k\n"
+      "R2 mid 0 10k\n"
+      "I1 0 x 1u\n"
+      "R3 x 0 1meg\n"
+      ".end\n";
+  spice::Circuit circuit;
+  const spice::NetlistDeck parsed = spice::parse_netlist(deck, circuit);
+  const lint::OperatingIntervals iv =
+      lint::compute_operating_intervals(circuit, &parsed);
+  EXPECT_TRUE(iv.dc_is_tainted(*circuit.find_node("x")));
+  EXPECT_TRUE(iv.dc_at(*circuit.find_node("x")).is_universe());
+  EXPECT_FALSE(iv.dc_is_tainted(*circuit.find_node("mid")));
+  EXPECT_TRUE(iv.dc_at(*circuit.find_node("mid")).contains(0.5));
+  EXPECT_LT(iv.dc_at(*circuit.find_node("mid")).width(), 0.01);
+}
+
+TEST(LintAnalysis, ManagerCachesSharedAnalyses) {
+  const std::string deck = "V1 a 0 1.0\nR1 a 0 1k\n.end\n";
+  spice::Circuit circuit;
+  const spice::NetlistDeck parsed = spice::parse_netlist(deck, circuit);
+  lint::AnalysisManager manager(circuit, &parsed);
+  // Repeated accessor calls return the same cached object.
+  EXPECT_EQ(&manager.incidence(), &manager.incidence());
+  EXPECT_EQ(&manager.topology(), &manager.topology());
+  EXPECT_EQ(&manager.intervals(), &manager.intervals());
+  EXPECT_EQ(&manager.components(true), &manager.components(true));
+  EXPECT_EQ(&manager.components(false), &manager.components(false));
+  // The caps-conduct flavour is a distinct graph, cached separately.
+  EXPECT_NE(&manager.components(true), &manager.components(false));
+}
+
+// -------------------------------------------------- rule-table guards
+
+TEST(LintPipeline, UnknownRuleErrorNamesTheValidSet) {
+  lint::Linter linter;
+  try {
+    linter.disable("not-a-rule");
+    FAIL() << "unknown rule id must throw";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("not-a-rule"), std::string::npos);
+    EXPECT_NE(msg.find("valid rules"), std::string::npos);
+    EXPECT_NE(msg.find("floating-node"), std::string::npos);
+    EXPECT_NE(msg.find("subthreshold-window"), std::string::npos);
+  }
+}
+
+TEST(LintPipeline, ValidateRuleTableRejectsDuplicateIds) {
+  EXPECT_NO_THROW(lint::validate_rule_table(lint::builtin_rules()));
+  std::vector<lint::Rule> dup = lint::builtin_rules();
+  dup.push_back(dup.front());
+  EXPECT_THROW(lint::validate_rule_table(dup), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- SARIF
+
+TEST(LintSarif, LogMatchesCheckedInKeySetGolden) {
+  const std::string deck =
+      "V1 a 0 1.0\nR1 a b 10k\nI1 0 x 1u\nC1 x 0 1p\n.temp 125\n.end\n";
+  const lint::LintReport report = lint_text(deck);
+  ASSERT_FALSE(report.clean());
+  const sfc::verify::Json sarif = lint::to_sarif(report, "deck.cir");
+  const sfc::verify::Json golden =
+      sfc::verify::read_json_file(std::string(SFC_GOLDENS_DIR) +
+                                  "/sarif_keys.json");
+  const auto keys_of = [](const sfc::verify::Json& o) {
+    std::vector<std::string> keys;
+    for (const auto& [key, value] : o.as_object()) keys.push_back(key);
+    return keys;
+  };
+  EXPECT_EQ(sarif.string_at("version"), "2.1.0");
+  EXPECT_EQ(keys_of(sarif), golden.strings_at("root_keys"));
+  const sfc::verify::Json& run = sarif.get("runs").as_array()[0];
+  EXPECT_EQ(keys_of(run), golden.strings_at("run_keys"));
+  const sfc::verify::Json& driver = run.get("tool").get("driver");
+  EXPECT_EQ(driver.string_at("name"), "sfc_lint");
+  EXPECT_EQ(keys_of(driver), golden.strings_at("driver_keys"));
+  // The declared rule list is the full pinned set, in pipeline order.
+  std::vector<std::string> ids;
+  for (const sfc::verify::Json& rule : driver.get("rules").as_array()) {
+    ids.push_back(rule.string_at("id"));
+    EXPECT_EQ(keys_of(rule), golden.strings_at("rule_keys"));
+  }
+  EXPECT_EQ(ids, golden.strings_at("rule_ids"));
+  // Every result: declared rule, legal level, keys within the allow-list.
+  const auto allowed = golden.strings_at("result_keys_allowed");
+  ASSERT_FALSE(run.get("results").as_array().empty());
+  for (const sfc::verify::Json& res : run.get("results").as_array()) {
+    EXPECT_NE(std::find(ids.begin(), ids.end(), res.string_at("ruleId")),
+              ids.end());
+    const std::string level = res.string_at("level");
+    EXPECT_TRUE(level == "note" || level == "warning" || level == "error");
+    for (const auto& key : keys_of(res)) {
+      EXPECT_NE(std::find(allowed.begin(), allowed.end(), key),
+                allowed.end())
+          << "result key '" << key << "' missing from the golden allow-list";
+    }
+  }
+}
+
+TEST(LintSarif, SuppressedFindingsCarrySuppressionObjects) {
+  const std::string deck = "V1 a 0 1.0\nR1 a b 10k\n.end\n";
+  lint::LintReport report = lint_text(deck);
+  const lint::Baseline baseline = lint::Baseline::from_report(report);
+  report = lint_text(deck);
+  ASSERT_EQ(lint::apply_baseline(report, baseline), 1u);
+  const sfc::verify::Json sarif = lint::to_sarif(report, "deck.cir");
+  const auto& results =
+      sarif.get("runs").as_array()[0].get("results").as_array();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].has("suppressions"));
+  EXPECT_TRUE(results[0].has("partialFingerprints"));
+}
+
+// ------------------------------------------------------------- baseline
+
+TEST(LintBaseline, LifecycleSuppressThenReappearOnStructuralChange) {
+  // 1. A fresh finding…
+  const std::string v1 = "V1 a 0 1.0\nR1 a b 10k\n.end\n";
+  const lint::LintReport r1 = lint_text(v1);
+  ASSERT_TRUE(find_rule(r1, "dangling-terminal").has_value());
+  EXPECT_EQ(r1.exit_code(), 2);
+  // 2. …gets baselined: same deck is now quiet (exit 0) but accounted.
+  const lint::Baseline baseline = lint::Baseline::from_report(r1);
+  EXPECT_EQ(baseline.entries().size(), 1u);
+  lint::LintReport r2 = lint_text(v1);
+  EXPECT_EQ(lint::apply_baseline(r2, baseline), 1u);
+  EXPECT_EQ(r2.exit_code(), 0);
+  EXPECT_EQ(r2.count_suppressed(), 1u);
+  EXPECT_EQ(r2.count(lint::Severity::kWarning), 0u);
+  // 3. Pure line movement (a comment above) keeps the fingerprint stable.
+  lint::LintReport r3 = lint_text("* comment shifts every line\n" + v1);
+  EXPECT_EQ(lint::apply_baseline(r3, baseline), 1u);
+  EXPECT_EQ(r3.exit_code(), 0);
+  // 4. A structural change (terminal swap) is a NEW finding: the old
+  // baseline no longer matches and the warning resurfaces.
+  lint::LintReport r4 = lint_text("V1 a 0 1.0\nR1 b a 10k\n.end\n");
+  EXPECT_EQ(lint::apply_baseline(r4, baseline), 0u);
+  EXPECT_EQ(r4.exit_code(), 2);
+}
+
+TEST(LintBaseline, JsonRoundTripAndDedup) {
+  const std::string deck = "V1 a 0 1.0\nR1 a b 10k\n.temp 125\n.end\n";
+  const lint::LintReport report = lint_text(deck);
+  ASSERT_GE(report.diagnostics().size(), 2u);
+  const lint::Baseline baseline = lint::Baseline::from_report(report);
+  const lint::Baseline reloaded =
+      lint::Baseline::from_json(baseline.to_json());
+  EXPECT_EQ(reloaded.entries().size(), baseline.entries().size());
+  EXPECT_EQ(reloaded.to_json().dump(), baseline.to_json().dump());
+  // Adding the same fingerprints again is a no-op.
+  lint::Baseline copy = baseline;
+  for (const auto& e : baseline.entries()) copy.add(e);
+  EXPECT_EQ(copy.entries().size(), baseline.entries().size());
+}
+
+TEST(LintBaseline, FingerprintsSurviveReportJsonRoundTrip) {
+  const std::string deck = "V1 a 0 1.0\nR1 a b 10k\n.end\n";
+  lint::LintReport report = lint_text(deck);
+  const lint::Baseline baseline = lint::Baseline::from_report(report);
+  ASSERT_EQ(lint::apply_baseline(report, baseline), 1u);
+  const sfc::verify::Json j = report.to_json("deck.cir");
+  const lint::LintReport back = lint::LintReport::from_json(j);
+  ASSERT_EQ(back.diagnostics().size(), 1u);
+  EXPECT_EQ(back.diagnostics()[0].fingerprint,
+            report.diagnostics()[0].fingerprint);
+  EXPECT_TRUE(back.diagnostics()[0].suppressed);
+  EXPECT_EQ(back.to_json("deck.cir").dump(), j.dump());
 }
 
 // ----------------------------------------------------- examples + fuzz
